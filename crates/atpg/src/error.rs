@@ -1,0 +1,74 @@
+//! Error type for the ATPG crate.
+
+use std::fmt;
+
+use modsoc_netlist::NetlistError;
+
+/// Errors produced by test generation and fault simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtpgError {
+    /// The underlying netlist is invalid or sequential.
+    Netlist(NetlistError),
+    /// A pattern's bit width does not match the circuit's input count.
+    PatternWidth {
+        /// Width the circuit expects.
+        expected: usize,
+        /// Width that was supplied.
+        got: usize,
+    },
+    /// A fault references a node outside the circuit.
+    ForeignFault {
+        /// Debug rendering of the fault.
+        fault: String,
+    },
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AtpgError::PatternWidth { expected, got } => {
+                write!(f, "pattern width {got} does not match {expected} circuit inputs")
+            }
+            AtpgError::ForeignFault { fault } => {
+                write!(f, "fault {fault} does not belong to this circuit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AtpgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtpgError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for AtpgError {
+    fn from(e: NetlistError) -> AtpgError {
+        AtpgError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = AtpgError::PatternWidth { expected: 3, got: 5 };
+        assert!(e.to_string().contains('3'));
+        let e2: AtpgError = NetlistError::NoObservationPoints.into();
+        assert!(e2.to_string().contains("netlist"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: AtpgError = NetlistError::NoObservationPoints.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,566 @@
+//! Bit-parallel stuck-at fault simulation (PPSFP).
+//!
+//! Simulates 64 fully-specified patterns per pass. The good circuit is
+//! evaluated once per batch; each fault is then propagated event-driven
+//! from its site through its fanout cone only, which keeps per-fault cost
+//! proportional to the size of the affected region rather than the whole
+//! circuit.
+
+use std::collections::BinaryHeap;
+
+use modsoc_netlist::sim::Simulator;
+use modsoc_netlist::{Circuit, GateKind, NodeId};
+
+use crate::error::AtpgError;
+use crate::fault::{Fault, FaultSite};
+
+/// A fault simulator bound to one combinational circuit.
+///
+/// Holds reusable scratch buffers; create once and call
+/// [`FaultSimulator::detection_masks`] per 64-pattern batch.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    circuit: &'a Circuit,
+    sim: Simulator,
+    topo_pos: Vec<u32>,
+    fanouts: Vec<Vec<NodeId>>,
+    // Scratch (epoch-stamped faulty values).
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Build a fault simulator.
+    ///
+    /// # Errors
+    ///
+    /// Fails on sequential or invalid circuits.
+    pub fn new(circuit: &'a Circuit) -> Result<FaultSimulator<'a>, AtpgError> {
+        let sim = Simulator::new(circuit)?;
+        let order = circuit.topo_order()?;
+        let mut topo_pos = vec![0u32; circuit.node_count()];
+        for (pos, id) in order.iter().enumerate() {
+            topo_pos[id.index()] = pos as u32;
+        }
+        Ok(FaultSimulator {
+            circuit,
+            sim,
+            topo_pos,
+            fanouts: circuit.fanouts(),
+            faulty: vec![0; circuit.node_count()],
+            stamp: vec![0; circuit.node_count()],
+            epoch: 0,
+        })
+    }
+
+    /// Evaluate the good circuit for a batch of ≤64 patterns.
+    ///
+    /// Returns `(per-node packed values, number of patterns in the batch)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::PatternWidth`] if any pattern width differs
+    /// from the circuit's input count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are supplied.
+    pub fn good_values(&self, patterns: &[Vec<bool>]) -> Result<(Vec<u64>, usize), AtpgError> {
+        assert!(patterns.len() <= 64, "at most 64 patterns per batch");
+        let width = self.circuit.input_count();
+        for p in patterns {
+            if p.len() != width {
+                return Err(AtpgError::PatternWidth {
+                    expected: width,
+                    got: p.len(),
+                });
+            }
+        }
+        let mut words = vec![0u64; width];
+        for (slot, p) in patterns.iter().enumerate() {
+            for (i, &b) in p.iter().enumerate() {
+                if b {
+                    words[i] |= 1 << slot;
+                }
+            }
+        }
+        Ok((self.sim.run_on(self.circuit, &words), patterns.len()))
+    }
+
+    /// Which of the batch's patterns detect `fault`: bit `k` of the result
+    /// is set iff pattern `k` produces a different value on some primary
+    /// output in the faulty circuit.
+    ///
+    /// `good` must come from [`FaultSimulator::good_values`] for the same
+    /// batch; `active` masks the valid pattern slots.
+    pub fn detection_mask(&mut self, good: &[u64], active: u64, fault: Fault) -> u64 {
+        self.propagate(good, fault);
+        let mut mask = 0u64;
+        for &po in self.circuit.outputs() {
+            mask |= good[po.index()] ^ self.value_of(po, good);
+        }
+        mask & active
+    }
+
+    /// Per-output detection masks for one fault: element `k` is the
+    /// pattern mask on which primary output `k` mismatches. One faulty
+    /// propagation serves all outputs.
+    pub fn output_detection_masks(&mut self, good: &[u64], active: u64, fault: Fault) -> Vec<u64> {
+        self.propagate(good, fault);
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&po| (good[po.index()] ^ self.value_of(po, good)) & active)
+            .collect()
+    }
+
+    /// Detection mask restricted to one primary output (by output
+    /// index). Prefer [`FaultSimulator::output_detection_masks`] when
+    /// several outputs are needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range.
+    pub fn output_detection_mask(
+        &mut self,
+        good: &[u64],
+        active: u64,
+        fault: Fault,
+        output: usize,
+    ) -> u64 {
+        self.propagate(good, fault);
+        let po = self.circuit.outputs()[output];
+        (good[po.index()] ^ self.value_of(po, good)) & active
+    }
+
+    /// Event-driven faulty-value propagation; leaves the epoch state
+    /// holding the faulty values for the current batch.
+    fn propagate(&mut self, good: &[u64], fault: Fault) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap: invalidate everything once.
+            self.stamp.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        let stuck_word = if fault.stuck_at_one { u64::MAX } else { 0 };
+
+        // Seed the event queue.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+        match fault.site {
+            FaultSite::Stem(site) => {
+                if good[site.index()] != stuck_word {
+                    self.set_faulty(site, stuck_word);
+                    for &fo in &self.fanouts[site.index()] {
+                        heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+                    }
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let v = self.eval_faulty(gate, good, Some((pin, stuck_word)));
+                if v != good[gate.index()] {
+                    self.set_faulty(gate, v);
+                    for &fo in &self.fanouts[gate.index()] {
+                        heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+                    }
+                }
+            }
+        }
+
+        while let Some(std::cmp::Reverse((_, raw))) = heap.pop() {
+            let id = NodeId::from_index(raw as usize);
+            // A node can be queued multiple times; the first (lowest topo
+            // position is unique per node) evaluation is authoritative —
+            // dedupe by checking whether recomputation changes anything.
+            let pinforce = match fault.site {
+                FaultSite::Pin { gate, pin } if gate == id => {
+                    Some((pin, if fault.stuck_at_one { u64::MAX } else { 0 }))
+                }
+                _ => None,
+            };
+            let v = self.eval_faulty(id, good, pinforce);
+            let current = self.value_of(id, good);
+            if v == current {
+                continue;
+            }
+            // A stem fault site never re-evaluates (it has no upstream
+            // events), so no special case needed here.
+            self.set_faulty(id, v);
+            for &fo in &self.fanouts[id.index()] {
+                heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+            }
+        }
+    }
+
+    /// Detection masks for a whole fault list against one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern width errors.
+    pub fn detection_masks(
+        &mut self,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+    ) -> Result<Vec<u64>, AtpgError> {
+        let (good, n) = self.good_values(patterns)?;
+        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Ok(faults
+            .iter()
+            .map(|&f| self.detection_mask(&good, active, f))
+            .collect())
+    }
+
+    fn value_of(&self, id: NodeId, good: &[u64]) -> u64 {
+        if self.stamp[id.index()] == self.epoch {
+            self.faulty[id.index()]
+        } else {
+            good[id.index()]
+        }
+    }
+
+    fn set_faulty(&mut self, id: NodeId, v: u64) {
+        self.stamp[id.index()] = self.epoch;
+        self.faulty[id.index()] = v;
+    }
+
+    fn eval_faulty(&self, id: NodeId, good: &[u64], pinforce: Option<(usize, u64)>) -> u64 {
+        let node = self.circuit.node(id);
+        if node.kind == GateKind::Input {
+            return good[id.index()];
+        }
+        let mut buf = [0u64; 16];
+        let mut vec_buf;
+        let fanin: &mut [u64] = if node.fanin.len() <= 16 {
+            &mut buf[..node.fanin.len()]
+        } else {
+            vec_buf = vec![0u64; node.fanin.len()];
+            &mut vec_buf
+        };
+        for (k, f) in node.fanin.iter().enumerate() {
+            fanin[k] = self.value_of(*f, good);
+        }
+        if let Some((pin, w)) = pinforce {
+            fanin[pin] = w;
+        }
+        node.kind.eval64(fanin)
+    }
+}
+
+/// Fraction of `faults` detected by `patterns` (serial convenience used in
+/// tests and coverage reporting).
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn fault_coverage(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+) -> Result<f64, AtpgError> {
+    if faults.is_empty() {
+        return Ok(1.0);
+    }
+    let mut fsim = FaultSimulator::new(circuit)?;
+    let mut detected = vec![false; faults.len()];
+    for chunk in patterns.chunks(64) {
+        let masks = fsim.detection_masks(chunk, faults)?;
+        for (d, m) in detected.iter_mut().zip(masks) {
+            if m != 0 {
+                *d = true;
+            }
+        }
+    }
+    Ok(detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64)
+}
+
+/// Per-fault *detection counts* of a pattern set: how many patterns
+/// detect each fault. The industrial n-detect quality metric — faults
+/// detected only once are fragile against timing/bridging defect
+/// behaviour, so production flows often require `n ≥ 3..5`.
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detection_counts(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+) -> Result<Vec<u32>, AtpgError> {
+    let mut fsim = FaultSimulator::new(circuit)?;
+    let mut counts = vec![0u32; faults.len()];
+    for chunk in patterns.chunks(64) {
+        let masks = fsim.detection_masks(chunk, faults)?;
+        for (c, m) in counts.iter_mut().zip(masks) {
+            *c += m.count_ones();
+        }
+    }
+    Ok(counts)
+}
+
+/// Detection masks for a whole fault list against one ≤64-pattern batch,
+/// computed on `threads` OS threads (each with its own simulator and
+/// scratch). Results are identical to the serial
+/// [`FaultSimulator::detection_masks`] — faults are independent, so the
+/// split is embarrassingly parallel and fully deterministic.
+///
+/// Worth using from roughly 10k faults × 10k gates upward; below that
+/// the per-thread good-circuit evaluation dominates.
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detection_masks_threaded(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    threads: usize,
+) -> Result<Vec<u64>, AtpgError> {
+    let threads = threads.max(1);
+    if threads == 1 || faults.len() < 2 * threads {
+        return FaultSimulator::new(circuit)?.detection_masks(patterns, faults);
+    }
+    // Validate once up front so every thread can assume a good batch.
+    let probe = FaultSimulator::new(circuit)?;
+    let (_, n) = probe.good_values(patterns)?;
+    drop(probe);
+    let _ = n;
+
+    let chunk_len = faults.len().div_ceil(threads);
+    let results: Vec<Result<Vec<u64>, AtpgError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = faults
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut fsim = FaultSimulator::new(circuit)?;
+                    fsim.detection_masks(patterns, chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fault-sim worker does not panic"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(faults.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::enumerate_faults;
+    use modsoc_netlist::bench_format::parse_bench;
+
+    fn c17() -> Circuit {
+        parse_bench(
+            "c17",
+            "
+INPUT(g1)\nINPUT(g2)\nINPUT(g3)\nINPUT(g6)\nINPUT(g7)
+OUTPUT(g22)\nOUTPUT(g23)
+g10 = NAND(g1, g3)
+g11 = NAND(g3, g6)
+g16 = NAND(g2, g11)
+g19 = NAND(g11, g7)
+g22 = NAND(g10, g16)
+g23 = NAND(g16, g19)
+",
+        )
+        .unwrap()
+    }
+
+    /// Reference: full re-simulation per fault via forced node (stems only).
+    fn naive_stem_mask(c: &Circuit, patterns: &[Vec<bool>], fault: Fault) -> u64 {
+        let sim = Simulator::new(c).unwrap();
+        let mut words = vec![0u64; c.input_count()];
+        for (slot, p) in patterns.iter().enumerate() {
+            for (i, &b) in p.iter().enumerate() {
+                if b {
+                    words[i] |= 1 << slot;
+                }
+            }
+        }
+        let site = match fault.site {
+            FaultSite::Stem(s) => s,
+            _ => unreachable!(),
+        };
+        let forced = if fault.stuck_at_one { u64::MAX } else { 0 };
+        let good = sim.run_on(c, &words);
+        let bad = sim.run_with_forced_node(c, &words, site, forced);
+        let mut mask = 0;
+        for &po in c.outputs() {
+            mask |= good[po.index()] ^ bad[po.index()];
+        }
+        mask & ((1u64 << patterns.len()) - 1)
+    }
+
+    fn all_input_patterns(n: usize) -> Vec<Vec<bool>> {
+        (0..(1usize << n))
+            .map(|row| (0..n).map(|i| (row >> i) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn event_driven_matches_naive_on_c17_stems() {
+        let c = c17();
+        let patterns = all_input_patterns(5).into_iter().take(32).collect::<Vec<_>>();
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        for fault in enumerate_faults(&c) {
+            if !matches!(fault.site, FaultSite::Stem(_)) {
+                continue;
+            }
+            let masks = fsim.detection_masks(&patterns, &[fault]).unwrap();
+            let naive = naive_stem_mask(&c, &patterns, fault);
+            assert_eq!(masks[0], naive, "mismatch for {}", fault.describe(&c));
+        }
+    }
+
+    #[test]
+    fn exhaustive_patterns_detect_all_c17_faults() {
+        let c = c17();
+        let patterns = all_input_patterns(5);
+        let faults = enumerate_faults(&c);
+        let cov = fault_coverage(&c, &patterns, &faults).unwrap();
+        assert!((cov - 1.0).abs() < 1e-12, "c17 is fully testable, got {cov}");
+    }
+
+    #[test]
+    fn pin_fault_differs_from_stem_fault() {
+        // a fans to g1=AND(a,b) and g2=OR(a,b). Pattern a=0,b=1:
+        // stem a s-a-1 flips g2's cone? g2 = OR(1,1)=1 vs good OR(0,1)=1 —
+        // no; g1 = AND(1,1)=1 vs good 0 — detected at g1 AND g2 unchanged.
+        // branch a->g2 s-a-1 with a=0,b=0: good g2=0, faulty OR(1,0)=1 ->
+        // detected only via g2; g1 unaffected.
+        let mut c = Circuit::new("br");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Or, &[a, b]).unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let patterns = vec![vec![false, false]];
+        let masks = fsim
+            .detection_masks(&patterns, &[Fault::pin(g2, 0, true), Fault::pin(g1, 0, true)])
+            .unwrap();
+        assert_eq!(masks[0], 0b1, "branch to OR detected by 00");
+        assert_eq!(masks[1], 0b0, "branch to AND not detected by 00 (b=0 blocks)");
+    }
+
+    #[test]
+    fn undetectable_fault_never_flags() {
+        // g = OR(a, NOT(a)): g s-a-1 undetectable by any pattern.
+        let mut c = Circuit::new("red");
+        let a = c.add_input("a");
+        let n = c.add_gate("n", GateKind::Not, &[a]).unwrap();
+        let g = c.add_gate("g", GateKind::Or, &[a, n]).unwrap();
+        c.mark_output(g);
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let patterns = all_input_patterns(1);
+        let masks = fsim
+            .detection_masks(&patterns, &[Fault::stem_sa1(g)])
+            .unwrap();
+        assert_eq!(masks[0], 0);
+    }
+
+    #[test]
+    fn batch_active_mask_respected() {
+        let c = c17();
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        // 3 patterns: mask must fit in low 3 bits.
+        let patterns = all_input_patterns(5).into_iter().take(3).collect::<Vec<_>>();
+        let faults = enumerate_faults(&c);
+        for m in fsim.detection_masks(&patterns, &faults).unwrap() {
+            assert_eq!(m & !0b111, 0);
+        }
+    }
+
+    #[test]
+    fn detection_counts_sum_mask_bits() {
+        let c = c17();
+        let patterns = all_input_patterns(5);
+        let faults = enumerate_faults(&c);
+        let counts = detection_counts(&c, &patterns, &faults).unwrap();
+        // Exhaustive patterns: every testable fault has n-detect >= 1,
+        // and most well above (c17 is highly random-testable).
+        assert!(counts.iter().all(|&n| n >= 1));
+        assert!(counts.iter().any(|&n| n >= 4));
+        // Cross-check one fault against the mask popcount.
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let mut manual = 0u32;
+        for chunk in patterns.chunks(64) {
+            manual += fsim.detection_masks(chunk, &faults[..1]).unwrap()[0].count_ones();
+        }
+        assert_eq!(counts[0], manual);
+    }
+
+    #[test]
+    fn threaded_masks_match_serial() {
+        let c = c17();
+        let patterns = all_input_patterns(5);
+        let faults = enumerate_faults(&c);
+        let serial = FaultSimulator::new(&c)
+            .unwrap()
+            .detection_masks(&patterns[..32], &faults)
+            .unwrap();
+        for threads in [1, 2, 3, 8] {
+            let parallel =
+                detection_masks_threaded(&c, &patterns[..32], &faults, threads).unwrap();
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn threaded_on_larger_circuit() {
+        // A bigger randomized circuit: build via repeated gates.
+        let mut c = Circuit::new("big");
+        let mut prev: Vec<_> = (0..12).map(|i| c.add_input(format!("i{i}"))).collect();
+        for layer in 0..6 {
+            let mut next = Vec::new();
+            for (k, pair) in prev.chunks(2).enumerate() {
+                let kind = match (layer + k) % 4 {
+                    0 => GateKind::Nand,
+                    1 => GateKind::Xor,
+                    2 => GateKind::Or,
+                    _ => GateKind::Nor,
+                };
+                let g = if pair.len() == 2 {
+                    c.add_gate(format!("g{layer}_{k}"), kind, &[pair[0], pair[1]])
+                        .unwrap()
+                } else {
+                    c.add_gate(format!("g{layer}_{k}"), GateKind::Not, &[pair[0]])
+                        .unwrap()
+                };
+                next.push(g);
+            }
+            next.extend(prev.iter().skip(next.len() * 2).copied());
+            prev = next;
+            if prev.len() == 1 {
+                break;
+            }
+        }
+        for &p in &prev {
+            c.mark_output(p);
+        }
+        let patterns: Vec<Vec<bool>> = (0..64u64)
+            .map(|k| (0..12).map(|i| (k >> (i % 6)) & 1 == 1).collect())
+            .collect();
+        let faults = enumerate_faults(&c);
+        let serial = FaultSimulator::new(&c)
+            .unwrap()
+            .detection_masks(&patterns, &faults)
+            .unwrap();
+        let parallel = detection_masks_threaded(&c, &patterns, &faults, 4).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let c = c17();
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let err = fsim.detection_masks(&[vec![true; 3]], &[]).unwrap_err();
+        assert!(matches!(err, AtpgError::PatternWidth { expected: 5, got: 3 }));
+    }
+}

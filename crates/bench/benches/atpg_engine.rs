@@ -1,0 +1,53 @@
+//! Criterion benches for the ATPG substrate itself: fault simulation
+//! throughput, PODEM, and the full engine on an ISCAS-sized core.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use modsoc_atpg::collapse::collapse_faults;
+use modsoc_atpg::fault_sim::FaultSimulator;
+use modsoc_atpg::podem::Podem;
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_circuitgen::{generate, profile::iscas, CoreProfile};
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg_engine");
+
+    // A mid-size combinational model (s713-like test model).
+    let core = generate(&iscas::s713(1)).expect("generates");
+    let model = core.to_test_model().expect("models").circuit;
+    let collapsed = collapse_faults(&model);
+    let faults = collapsed.representatives().to_vec();
+
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.bench_function("fault_sim_64_patterns_s713", |b| {
+        let mut fsim = FaultSimulator::new(&model).expect("builds");
+        let patterns: Vec<Vec<bool>> = (0..64)
+            .map(|k| (0..model.input_count()).map(|i| (i + k) % 3 == 0).collect())
+            .collect();
+        b.iter(|| fsim.detection_masks(black_box(&patterns), &faults).expect("sims"))
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("podem_single_fault_s713", |b| {
+        let podem = Podem::new(&model, 200).expect("builds");
+        let fault = faults[faults.len() / 2];
+        b.iter(|| podem.generate(black_box(fault)).expect("generates"))
+    });
+
+    group.sample_size(10);
+    group.bench_function("engine_full_run_s713", |b| {
+        let engine = Atpg::new(AtpgOptions::default());
+        b.iter(|| engine.run(black_box(&core)).expect("runs").pattern_count())
+    });
+
+    group.bench_function("engine_full_run_small", |b| {
+        let small = generate(&CoreProfile::new("small", 12, 6, 10).with_seed(5)).expect("generates");
+        let engine = Atpg::new(AtpgOptions::default());
+        b.iter(|| engine.run(black_box(&small)).expect("runs").pattern_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

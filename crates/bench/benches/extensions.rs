@@ -1,0 +1,63 @@
+//! Criterion benches for the extension substrates: diagnosis, BIST,
+//! compression, and power-constrained scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_atpg::bist::{evaluate_bist, Lfsr};
+use modsoc_atpg::collapse::collapse_faults;
+use modsoc_atpg::compress::{evaluate_compression, XorDecompressor};
+use modsoc_atpg::diagnose::{diagnose, syndrome_of_fault};
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_circuitgen::{generate, CoreProfile};
+use modsoc_tam::power::{schedule_power_constrained, PowerCore};
+use modsoc_tam::wrapper::WrapperCore;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+
+    let profile = CoreProfile::new("ext", 16, 8, 24).with_seed(3);
+    let circuit = generate(&profile).expect("generates");
+    let model = circuit.to_test_model().expect("models").circuit;
+    let faults = collapse_faults(&model).representatives().to_vec();
+
+    group.bench_function("bist_1024_patterns", |b| {
+        b.iter(|| {
+            evaluate_bist(black_box(&model), &faults, Lfsr::standard(7), 1024)
+                .expect("bist runs")
+                .coverage
+        })
+    });
+
+    let result = Atpg::new(AtpgOptions::deterministic_only())
+        .run(&circuit)
+        .expect("atpg");
+    let patterns = result.patterns.fill_all(result.fill);
+    let secret = faults[faults.len() / 2];
+    let syndrome = syndrome_of_fault(&model, &patterns, secret).expect("syndrome");
+    group.bench_function("diagnose_full_candidate_list", |b| {
+        b.iter(|| diagnose(black_box(&model), &syndrome, &faults).expect("diagnoses"))
+    });
+
+    let decomp = XorDecompressor::new(result.patterns.width(), 4, 12, 0xED);
+    group.bench_function("compression_solve_testset", |b| {
+        b.iter(|| evaluate_compression(black_box(&result.patterns), &decomp))
+    });
+
+    let cores: Vec<PowerCore> = (0..10)
+        .map(|i| {
+            PowerCore::new(
+                WrapperCore::new(format!("c{i}"), 8, 8, vec![64, 32]).with_patterns(50 + i * 17),
+                20 + i * 7,
+            )
+        })
+        .collect();
+    group.bench_function("power_constrained_schedule", |b| {
+        b.iter(|| schedule_power_constrained(black_box(&cores), 16, 120).expect("schedules"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Figure 1/2 regeneration: cone extraction and
+//! the overlap-vs-pattern-count mechanism demonstration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_circuitgen::{generate, CoreProfile};
+use modsoc_netlist::cone::extract_cones;
+
+fn bench_cones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_2_cones");
+
+    let mut profile = CoreProfile::new("cones", 48, 12, 0).with_seed(11);
+    profile.overlap = 0.5;
+    let circuit = generate(&profile).expect("generates");
+    group.bench_function("extract_cones", |b| {
+        b.iter(|| extract_cones(black_box(&circuit)).expect("extracts"))
+    });
+
+    group.sample_size(10);
+    group.bench_function("overlap_sweep_atpg", |b| {
+        b.iter(|| {
+            let mut counts = Vec::new();
+            for overlap in [0.0, 0.5, 1.0] {
+                let mut p = CoreProfile::new(format!("ov{overlap}"), 48, 12, 0).with_seed(11);
+                p.overlap = overlap;
+                let circuit = generate(&p).expect("generates");
+                let r = Atpg::new(AtpgOptions::deterministic_only())
+                    .run(&circuit)
+                    .expect("atpg runs");
+                counts.push(r.pattern_count());
+            }
+            counts
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cones);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the Table 1 (SOC1) regeneration.
+//!
+//! `soc1/paper_data` measures the pure Equation 1–8 analysis on the
+//! transcribed table; `soc1/live_modular` and `soc1/live_monolithic`
+//! measure the real workload — ATPG on the synthetic SOC1 cores and on
+//! the flattened design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_core::analysis::SocTdvAnalysis;
+use modsoc_core::tdv::TdvOptions;
+use modsoc_soc::itc02;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_soc1");
+
+    let soc = itc02::soc1();
+    group.bench_function("paper_data_analysis", |b| {
+        b.iter(|| {
+            SocTdvAnalysis::compute_with_measured_tmono(
+                black_box(&soc),
+                &TdvOptions::tables_1_2(),
+                itc02::SOC1_MEASURED_TMONO,
+            )
+            .expect("analysis succeeds")
+        })
+    });
+
+    let netlist = modsoc_circuitgen::soc::soc1(1).expect("soc1 generates");
+    let engine = Atpg::new(AtpgOptions::default());
+    group.sample_size(10);
+    group.bench_function("live_modular_atpg_all_cores", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for core in netlist.cores() {
+                total += engine.run(black_box(core)).expect("atpg runs").pattern_count();
+            }
+            total
+        })
+    });
+
+    let flat = netlist.flatten().expect("flattens");
+    group.bench_function("live_monolithic_atpg", |b| {
+        b.iter(|| engine.run(black_box(&flat)).expect("atpg runs").pattern_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Table 2 (SOC2) regeneration.
+//!
+//! The full live monolithic run (~30k gates) lives in the
+//! `table2_soc2` binary; here we bench the analysis plus ATPG on the
+//! smallest and largest SOC2 cores so `cargo bench` stays bounded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_circuitgen::{generate, profile::iscas};
+use modsoc_core::analysis::SocTdvAnalysis;
+use modsoc_core::tdv::TdvOptions;
+use modsoc_soc::itc02;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_soc2");
+
+    let soc = itc02::soc2();
+    group.bench_function("paper_data_analysis", |b| {
+        b.iter(|| {
+            SocTdvAnalysis::compute_with_measured_tmono(
+                black_box(&soc),
+                &TdvOptions::tables_1_2(),
+                itc02::SOC2_MEASURED_TMONO,
+            )
+            .expect("analysis succeeds")
+        })
+    });
+
+    let engine = Atpg::new(AtpgOptions::default());
+    let small = generate(&iscas::s953(1)).expect("generates");
+    group.sample_size(10);
+    group.bench_function("atpg_s953_lookalike", |b| {
+        b.iter(|| engine.run(black_box(&small)).expect("atpg runs").pattern_count())
+    });
+
+    let large = generate(&iscas::s5378(1)).expect("generates");
+    group.bench_function("atpg_s5378_lookalike", |b| {
+        b.iter(|| engine.run(black_box(&large)).expect("atpg runs").pattern_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Table 3 (p34392) regeneration: the
+//! hierarchical ISOCOST/TDV computation and its rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_core::analysis::SocTdvAnalysis;
+use modsoc_core::report::render_core_table;
+use modsoc_core::tdv::TdvOptions;
+use modsoc_soc::itc02;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_p34392");
+    let soc = itc02::p34392();
+    group.bench_function("hierarchical_tdv_analysis", |b| {
+        b.iter(|| {
+            let a = SocTdvAnalysis::compute(black_box(&soc), &TdvOptions::tables_3_4())
+                .expect("analysis succeeds");
+            assert_eq!(a.modular().total(), itc02::P34392_TDV_MODULAR);
+            a
+        })
+    });
+    let analysis = SocTdvAnalysis::compute(&soc, &TdvOptions::tables_3_4()).expect("ok");
+    group.bench_function("render", |b| {
+        b.iter(|| render_core_table(black_box(&soc), black_box(&analysis)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Table 4 regeneration: reconstruction of the
+//! nine unavailable ITC'02 SOCs plus the ten-way survey analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_core::analysis::SocTdvAnalysis;
+use modsoc_core::reconstruct::reconstruct_table4;
+use modsoc_core::tdv::TdvOptions;
+use modsoc_soc::itc02::{p34392, table4};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_itc02");
+    group.sample_size(20);
+
+    // Reconstruction cost is dominated by factoring the a586710 volume.
+    group.bench_function("reconstruct_d695", |b| {
+        let row = table4().iter().find(|r| r.name == "d695").expect("row");
+        b.iter(|| reconstruct_table4(black_box(row)).expect("reconstructs"))
+    });
+    group.bench_function("reconstruct_a586710", |b| {
+        let row = table4().iter().find(|r| r.name == "a586710").expect("row");
+        b.iter(|| reconstruct_table4(black_box(row)).expect("reconstructs"))
+    });
+
+    // Full survey: all ten rows, as the table4_itc02 binary prints it.
+    group.bench_function("full_survey", |b| {
+        b.iter(|| {
+            let opts = TdvOptions::tables_3_4();
+            let mut out = Vec::new();
+            for row in table4() {
+                let soc = if row.name == "p34392" {
+                    p34392()
+                } else {
+                    reconstruct_table4(row).expect("reconstructs")
+                };
+                out.push(SocTdvAnalysis::compute(&soc, &opts).expect("analyses"));
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

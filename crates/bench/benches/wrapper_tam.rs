@@ -1,0 +1,49 @@
+//! Criterion benches for wrapper chain design and TAM scheduling (the
+//! extension layer reproducing the paper's cited context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_soc::itc02;
+use modsoc_tam::schedule::schedule_rectangles;
+use modsoc_tam::wrapper::{design_wrapper, WrapperCore};
+use modsoc_tam::{soc_test_time, TamArchitecture};
+
+fn p34392_cores() -> Vec<WrapperCore> {
+    let soc = itc02::p34392();
+    soc.iter()
+        .map(|(_, spec)| WrapperCore::from_core_spec(spec, 8))
+        .collect()
+}
+
+fn bench_wrapper_tam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wrapper_tam");
+
+    let cores = p34392_cores();
+    let big = cores
+        .iter()
+        .max_by_key(|c| c.total_cells())
+        .expect("nonempty")
+        .clone();
+    group.bench_function("wrapper_design_w16_largest_core", |b| {
+        b.iter(|| design_wrapper(black_box(&big), 16))
+    });
+
+    for arch in [
+        TamArchitecture::Multiplexing,
+        TamArchitecture::Daisychain,
+        TamArchitecture::Distribution,
+    ] {
+        group.bench_function(format!("soc_test_time_{arch:?}_w32"), |b| {
+            b.iter(|| soc_test_time(arch, black_box(&cores), 32).expect("evaluates"))
+        });
+    }
+
+    group.bench_function("rectangle_schedule_w32", |b| {
+        b.iter(|| schedule_rectangles(black_box(&cores), 32).expect("schedules"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrapper_tam);
+criterion_main!(benches);

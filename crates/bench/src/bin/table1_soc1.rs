@@ -1,0 +1,34 @@
+//! Regenerates Table 1: SOC1 (s713 + s953 + 3×s1423, Figure 4).
+//!
+//! Prints (a) the published data, bit-exact from the transcribed table,
+//! and (b) a live regeneration: synthetic ISCAS'89-lookalike cores wired
+//! per Figure 4, per-core ATPG, flattened monolithic ATPG, and the TDV
+//! comparison. Pass `--paper-only` to skip the (slower) live part.
+
+use modsoc_bench::{print_paper_table, run_live_soc};
+use modsoc_soc::itc02;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let paper_only = std::env::args().any(|a| a == "--paper-only");
+
+    let soc = itc02::soc1();
+    let paper = print_paper_table("Table 1 / SOC1", &soc, itc02::SOC1_MEASURED_TMONO)?;
+    println!(
+        "paper's own summary: ratio 2.87, pessimistic 1.13, pessimism 2.5x; ours from its data: \
+         {:.2} / {:.2} / {:.1}x\n",
+        paper.reduction_ratio(),
+        paper.pessimistic_reduction_ratio(),
+        paper.pessimism_factor()
+    );
+
+    if paper_only {
+        return Ok(());
+    }
+    let netlist = modsoc_circuitgen::soc::soc1(1)?;
+    let exp = run_live_soc("Table 1 / SOC1", &netlist, 2.87, 1.13)?;
+    assert!(
+        exp.eq2_strict,
+        "equation 2 should be strict on SOC1 (paper: 216 > 85)"
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! TAM width sweep on p34392: test time vs TAM width per architecture —
+//! the classic test-planning curve from the paper's cited context
+//! (Goel & Marinissen, its ref 13), computed with this workspace's
+//! wrapper/TAM layer on the same core data the TDV analysis uses.
+
+use modsoc_core::tdv::TdvOptions;
+use modsoc_core::timecost::time_cost;
+use modsoc_soc::itc02;
+use modsoc_tam::optimize::{best_at_width, sweep_architecture, sweep_rectangles};
+use modsoc_tam::wrapper::WrapperCore;
+use modsoc_tam::TamArchitecture;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = itc02::p34392();
+    let cores: Vec<WrapperCore> = soc
+        .iter()
+        .filter(|(_, c)| c.patterns > 0)
+        .map(|(_, c)| WrapperCore::from_core_spec(c, 8))
+        .collect();
+    const MAX_W: usize = 48;
+
+    println!("== p34392: SOC test time (cycles) vs TAM width ==");
+    let mux = sweep_architecture(TamArchitecture::Multiplexing, &cores, MAX_W)?;
+    let daisy = sweep_architecture(TamArchitecture::Daisychain, &cores, MAX_W)?;
+    let dist = sweep_architecture(TamArchitecture::Distribution, &cores, MAX_W)?;
+    let flex = sweep_rectangles(&cores, MAX_W)?;
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "width", "multiplexing", "daisychain", "distribution", "rectangles"
+    );
+    for w in [1usize, 2, 4, 8, 16, 24, 32, 48] {
+        let find = |s: &modsoc_tam::optimize::WidthSweep| {
+            s.points
+                .iter()
+                .find(|p| p.width == w)
+                .map_or("-".to_string(), |p| p.time.to_string())
+        };
+        println!(
+            "{w:>6} {:>14} {:>14} {:>14} {:>14}",
+            find(&mux),
+            find(&daisy),
+            find(&dist),
+            find(&flex)
+        );
+    }
+    if let Some(knee) = flex.knee(0.05) {
+        println!(
+            "\nrectangle-schedule knee (5% threshold): width {} at {} cycles",
+            knee.width, knee.time
+        );
+    }
+    let best = best_at_width(&cores, 32)?;
+    println!(
+        "best configuration at width 32: {:?} ({} cycles)",
+        best.architecture
+            .map_or("Rectangles".to_string(), |a| format!("{a:?}")),
+        best.time
+    );
+
+    println!("\n== joint view: the TDV analysis is width-independent, time is not ==");
+    for w in [8usize, 16, 32] {
+        let tc = time_cost(&soc, &TdvOptions::tables_3_4(), None, w, 8)?;
+        println!(
+            "width {w:>2}: modular TDV {} bits (constant), modular time {} cycles, mono time {} cycles",
+            tc.tdv.modular().total(),
+            tc.modular_time,
+            tc.monolithic_time
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Run the fast regeneration binaries end to end and check their
+//! headline output (the slow live SOC1/SOC2 runs are exercised with
+//! `--paper-only`).
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table3_binary_is_bit_exact() {
+    let text = run(env!("CARGO_BIN_EXE_table3_p34392"), &[]);
+    assert!(text.contains("28,538,030"), "{text}");
+    assert!(text.contains("bit-exact match: yes"));
+    assert!(text.contains("522,738,000"));
+}
+
+#[test]
+fn table4_binary_covers_all_socs() {
+    let text = run(env!("CARGO_BIN_EXE_table4_itc02"), &[]);
+    for soc in [
+        "d695", "h953", "f2126", "g1023", "g12710", "p22810", "p34392", "p93791", "t512505",
+        "a586710",
+    ] {
+        assert!(text.contains(soc), "{soc} missing");
+    }
+    assert!(text.contains("correlation"));
+    // The two extremes keep their signs.
+    assert!(text.contains("+38.6%"));
+    assert!(text.contains("-99.3%"));
+}
+
+#[test]
+fn fig1_2_binary_reproduces_worked_example() {
+    let text = run(env!("CARGO_BIN_EXE_fig1_2_cone_example"), &[]);
+    assert!(text.contains("monolithic stimulus bits: 20000"));
+    assert!(text.contains("modular stimulus bits:    15000"));
+    assert!(text.contains("25.0%"));
+}
+
+#[test]
+fn table1_paper_only_mode() {
+    let text = run(env!("CARGO_BIN_EXE_table1_soc1"), &["--paper-only"]);
+    assert!(text.contains("45,183"));
+    assert!(text.contains("129,816"));
+    assert!(!text.contains("live regeneration"), "--paper-only must skip ATPG");
+}
+
+#[test]
+fn table2_paper_only_mode() {
+    let text = run(env!("CARGO_BIN_EXE_table2_soc2"), &["--paper-only"]);
+    assert!(text.contains("1,344,585"));
+    assert!(text.contains("2,986,200"));
+}
+
+#[test]
+fn ablation_binary_reports_all_sweeps() {
+    let text = run(env!("CARGO_BIN_EXE_ablation_sweep"), &[]);
+    assert!(text.contains("Ablation 1"));
+    assert!(text.contains("Ablation 2"));
+    assert!(text.contains("Ablation 3"));
+    assert!(text.contains("Ablation 4"));
+    assert!(text.contains("crossover observed: true"));
+}

@@ -1,0 +1,327 @@
+//! The cone-structured circuit generator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use modsoc_netlist::{Circuit, GateKind, NetlistError, NodeId};
+
+use crate::profile::CoreProfile;
+
+/// Generate a full-scan circuit from a profile.
+///
+/// The circuit has exactly `profile.inputs` primary inputs,
+/// `profile.outputs` primary outputs and `profile.scan_cells` flip-flops.
+/// One logic cone is synthesised per output and per flip-flop data input;
+/// cone supports are drawn from the source pool (inputs + flip-flop
+/// outputs) with the profile's overlap/locality, and every source is
+/// guaranteed to drive at least one cone.
+///
+/// Generation is fully deterministic: equal profiles (including seed)
+/// produce identical netlists.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the profile is degenerate (no sources or
+/// no cones).
+pub fn generate(profile: &CoreProfile) -> Result<Circuit, NetlistError> {
+    if profile.source_count() == 0 || profile.cone_count() == 0 {
+        return Err(NetlistError::NoObservationPoints);
+    }
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0xC1C5_EED0);
+    let mut c = Circuit::new(profile.name.clone());
+
+    // Sources: PIs then deferred DFFs (their outputs are usable now,
+    // their data fanins are wired once the cones exist).
+    let mut sources: Vec<NodeId> = Vec::with_capacity(profile.source_count());
+    for i in 0..profile.inputs {
+        sources.push(c.add_input(format!("pi{i}")));
+    }
+    let mut dffs: Vec<NodeId> = Vec::with_capacity(profile.scan_cells);
+    for i in 0..profile.scan_cells {
+        let ff = c.add_dff_deferred(format!("ff{i}"))?;
+        dffs.push(ff);
+        sources.push(ff);
+    }
+
+    let cone_count = profile.cone_count();
+    let n_sources = sources.len();
+    let mut used = vec![false; n_sources];
+
+    // Per-cone difficulty: a deterministic subset of cones is "hard".
+    let mut hard = vec![false; cone_count];
+    let hard_n = ((cone_count as f64) * profile.hard_cone_fraction).round() as usize;
+    {
+        let mut idx: Vec<usize> = (0..cone_count).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(hard_n.min(cone_count)) {
+            hard[i] = true;
+        }
+    }
+
+    let mut cone_roots: Vec<NodeId> = Vec::with_capacity(cone_count);
+    let mut gate_counter = 0usize;
+    #[allow(clippy::needless_range_loop)] // `cone` is a position, not just an index
+    for cone in 0..cone_count {
+        let max_w = profile.max_cone_width.clamp(1, n_sources);
+        let min_w = profile.min_cone_width.clamp(1, max_w);
+        let width = if hard[cone] {
+            max_w
+        } else {
+            rng.gen_range(min_w..=max_w)
+        };
+        let support = sample_support(&mut rng, cone, cone_count, n_sources, width, profile.overlap);
+        for &s in &support {
+            used[s] = true;
+        }
+        let leaves: Vec<NodeId> = support.iter().map(|&s| sources[s]).collect();
+        let root = build_cone_tree(
+            &mut rng,
+            &mut c,
+            &leaves,
+            profile,
+            hard[cone],
+            &mut gate_counter,
+        )?;
+        cone_roots.push(root);
+    }
+
+    // Guarantee every source is used: fold unused sources into extra
+    // 2-input gates spliced ahead of randomly chosen cone roots.
+    let unused: Vec<usize> = (0..n_sources).filter(|&i| !used[i]).collect();
+    for s in unused {
+        let k = rng.gen_range(0..cone_roots.len());
+        let kind = if rng.gen_bool(profile.xor_fraction) {
+            GateKind::Xor
+        } else if rng.gen_bool(0.5) {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        let g = c.add_gate(
+            format!("u{gate_counter}"),
+            kind,
+            &[cone_roots[k], sources[s]],
+        )?;
+        gate_counter += 1;
+        cone_roots[k] = g;
+    }
+
+    // Wire cone roots: the first `outputs` cones drive primary outputs,
+    // the rest drive flip-flop data inputs.
+    for (i, &root) in cone_roots.iter().take(profile.outputs).enumerate() {
+        let _ = i;
+        c.mark_output(root);
+    }
+    for (k, &ff) in dffs.iter().enumerate() {
+        c.set_fanin(ff, &[cone_roots[profile.outputs + k]])?;
+    }
+    c.validate()?;
+    Ok(c)
+}
+
+/// Sample a cone's support with locality: each cone owns a window of the
+/// source pool centred on its share; `overlap` widens the window from
+/// "just my share" (0) to "everything" (1).
+fn sample_support(
+    rng: &mut StdRng,
+    cone: usize,
+    cone_count: usize,
+    n_sources: usize,
+    width: usize,
+    overlap: f64,
+) -> Vec<usize> {
+    let width = width.min(n_sources);
+    let centre = if cone_count <= 1 {
+        0.0
+    } else {
+        cone as f64 / cone_count as f64 * n_sources as f64
+    };
+    let base = width.max(n_sources / cone_count.max(1)).max(1) as f64;
+    let window = (base + overlap * (n_sources as f64 - base)).ceil() as usize;
+    let window = window.clamp(width, n_sources);
+    let start = (centre - window as f64 / 2.0).round() as isize;
+    let mut picks: Vec<usize> = Vec::with_capacity(width);
+    let mut taken = vec![false; n_sources];
+    while picks.len() < width {
+        let off = rng.gen_range(0..window) as isize;
+        let idx = (start + off).rem_euclid(n_sources as isize) as usize;
+        if !taken[idx] {
+            taken[idx] = true;
+            picks.push(idx);
+        }
+    }
+    picks.sort_unstable();
+    picks
+}
+
+/// Combine `leaves` into a single root with a random gate tree.
+fn build_cone_tree(
+    rng: &mut StdRng,
+    c: &mut Circuit,
+    leaves: &[NodeId],
+    profile: &CoreProfile,
+    hard: bool,
+    gate_counter: &mut usize,
+) -> Result<NodeId, NetlistError> {
+    let mut layer: Vec<NodeId> = leaves.to_vec();
+    if layer.len() == 1 {
+        // Single-support cone: a buffer or inverter.
+        let kind = if rng.gen_bool(profile.inverter_rate) {
+            GateKind::Not
+        } else {
+            GateKind::Buf
+        };
+        let g = c.add_gate(format!("g{}", bump(gate_counter)), kind, &[layer[0]])?;
+        return Ok(g);
+    }
+    let xor_frac = if hard {
+        (profile.xor_fraction * 1.8).min(0.85)
+    } else {
+        profile.xor_fraction
+    };
+    while layer.len() > 1 {
+        layer.shuffle(rng);
+        let mut next: Vec<NodeId> = Vec::with_capacity(layer.len() / 2 + 1);
+        let mut i = 0;
+        while i < layer.len() {
+            let remaining = layer.len() - i;
+            if remaining == 1 {
+                next.push(layer[i]);
+                break;
+            }
+            let fanin_n = if remaining >= 3 && rng.gen_bool(0.3) { 3 } else { 2 };
+            let fanin = &layer[i..i + fanin_n];
+            let kind = pick_gate_kind(rng, xor_frac);
+            let mut g = c.add_gate(format!("g{}", bump(gate_counter)), kind, fanin)?;
+            if rng.gen_bool(profile.inverter_rate) {
+                g = c.add_gate(format!("g{}", bump(gate_counter)), GateKind::Not, &[g])?;
+            }
+            next.push(g);
+            i += fanin_n;
+        }
+        layer = next;
+    }
+    Ok(layer[0])
+}
+
+fn pick_gate_kind(rng: &mut StdRng, xor_frac: f64) -> GateKind {
+    if rng.gen_bool(xor_frac) {
+        if rng.gen_bool(0.5) {
+            GateKind::Xor
+        } else {
+            GateKind::Xnor
+        }
+    } else {
+        match rng.gen_range(0..4) {
+            0 => GateKind::And,
+            1 => GateKind::Nand,
+            2 => GateKind::Or,
+            _ => GateKind::Nor,
+        }
+    }
+}
+
+fn bump(counter: &mut usize) -> usize {
+    let v = *counter;
+    *counter += 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsoc_netlist::cone::extract_cones;
+
+    #[test]
+    fn interface_is_exact() {
+        let p = CoreProfile::new("t", 12, 5, 8).with_seed(42);
+        let c = generate(&p).unwrap();
+        assert_eq!(c.input_count(), 12);
+        assert_eq!(c.output_count(), 5);
+        assert_eq!(c.dff_count(), 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = CoreProfile::new("t", 10, 3, 4).with_seed(7);
+        let c1 = generate(&p).unwrap();
+        let c2 = generate(&p).unwrap();
+        assert_eq!(c1.node_count(), c2.node_count());
+        let names1: Vec<_> = c1.iter().map(|(_, n)| (n.name.clone(), n.kind)).collect();
+        let names2: Vec<_> = c2.iter().map(|(_, n)| (n.name.clone(), n.kind)).collect();
+        assert_eq!(names1, names2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c1 = generate(&CoreProfile::new("t", 10, 3, 4).with_seed(1)).unwrap();
+        let c2 = generate(&CoreProfile::new("t", 10, 3, 4).with_seed(2)).unwrap();
+        let k1: Vec<_> = c1.iter().map(|(_, n)| n.kind).collect();
+        let k2: Vec<_> = c2.iter().map(|(_, n)| n.kind).collect();
+        assert_ne!(k1, k2, "seeds should change structure");
+    }
+
+    #[test]
+    fn every_source_drives_logic() {
+        let p = CoreProfile::new("t", 20, 2, 10).with_seed(3);
+        let c = generate(&p).unwrap();
+        let fo = c.fanouts();
+        for &pi in c.inputs() {
+            assert!(!fo[pi.index()].is_empty(), "floating input");
+        }
+        for &ff in c.dffs() {
+            assert!(!fo[ff.index()].is_empty(), "floating scan cell");
+        }
+    }
+
+    #[test]
+    fn test_model_cones_match_profile() {
+        let p = CoreProfile::new("t", 9, 4, 6).with_seed(5);
+        let c = generate(&p).unwrap();
+        let m = c.to_test_model().unwrap();
+        let cones = extract_cones(&m.circuit).unwrap();
+        assert_eq!(cones.cones().len(), p.cone_count());
+    }
+
+    #[test]
+    fn overlap_knob_changes_overlap() {
+        let mut lo = CoreProfile::new("lo", 60, 10, 0).with_seed(11);
+        lo.overlap = 0.0;
+        lo.min_cone_width = 3;
+        lo.max_cone_width = 5;
+        let mut hi = lo.clone();
+        hi.name = "hi".into();
+        hi.overlap = 1.0;
+        let c_lo = generate(&lo).unwrap();
+        let c_hi = generate(&hi).unwrap();
+        let o_lo = extract_cones(&c_lo).unwrap().overlap_fraction();
+        let o_hi = extract_cones(&c_hi).unwrap().overlap_fraction();
+        assert!(o_hi > o_lo, "overlap {o_hi} should exceed {o_lo}");
+    }
+
+    #[test]
+    fn single_input_profile() {
+        let p = CoreProfile::new("one", 1, 1, 0).with_seed(2);
+        let c = generate(&p).unwrap();
+        assert_eq!(c.input_count(), 1);
+        assert_eq!(c.output_count(), 1);
+    }
+
+    #[test]
+    fn degenerate_profile_rejected() {
+        let p = CoreProfile::new("bad", 0, 0, 0);
+        assert!(generate(&p).is_err());
+    }
+
+    #[test]
+    fn atpg_runs_on_generated_core() {
+        use modsoc_atpg::{Atpg, AtpgOptions};
+        let p = CoreProfile::new("t", 10, 5, 8).with_seed(9);
+        let c = generate(&p).unwrap();
+        let r = Atpg::new(AtpgOptions::default()).run(&c).unwrap();
+        assert!(r.fault_coverage() > 0.9, "coverage {}", r.fault_coverage());
+        assert!(r.pattern_count() > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic synthetic circuit generation.
+//!
+//! The DATE 2008 paper's SOC1/SOC2 experiments run ATPG on ISCAS'89
+//! benchmark netlists. Those netlists are not redistributable inside this
+//! workspace, so this crate builds the closest synthetic equivalent: for
+//! each benchmark the paper uses, a [`CoreProfile`] pins the published
+//! interface (primary inputs, outputs, scan flip-flops) and describes the
+//! internal *cone structure* — how many logic cones, how wide, how deep,
+//! how much their supports overlap, and how XOR-rich they are. The
+//! [`generate`] function then synthesises a full-scan netlist with that
+//! shape, deterministically from a seed.
+//!
+//! What matters for the paper's analysis is preserved by construction:
+//!
+//! * the interface counts (I, O, S) enter the TDV equations verbatim;
+//! * per-cone difficulty varies, so per-core ATPG pattern counts vary;
+//! * the [`soc`] module stitches cores into the exact Figure 4 / Figure 5
+//!   topologies, so the flattened monolithic netlist has wide,
+//!   overlapping, cross-core cones — which is why its ATPG pattern count
+//!   exceeds the per-core maximum (the paper's Equation 2 observed
+//!   strictly).
+//!
+//! # Example
+//!
+//! ```
+//! use modsoc_circuitgen::{generate, CoreProfile};
+//!
+//! # fn main() -> Result<(), modsoc_netlist::NetlistError> {
+//! let profile = CoreProfile::new("tiny", 8, 4, 6);
+//! let circuit = generate(&profile)?;
+//! assert_eq!(circuit.input_count(), 8);
+//! assert_eq!(circuit.output_count(), 4);
+//! assert_eq!(circuit.dff_count(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod profile;
+pub mod soc;
+
+pub use generator::generate;
+pub use profile::CoreProfile;
+pub use soc::{PortSource, SocNetlist, SocNetlistBuilder};

@@ -1,0 +1,120 @@
+//! Property-based tests for the Table-4 reconstruction engine: for any
+//! *feasible* target tuple, the reconstructed SOC's computed aggregates
+//! match the requested ones.
+
+use proptest::prelude::*;
+
+use modsoc_core::analysis::SocTdvAnalysis;
+use modsoc_core::reconstruct::{reconstruct, ReconstructionTargets};
+use modsoc_core::tdv::TdvOptions;
+use modsoc_soc::stats::pattern_count_stats;
+
+/// Generate targets the way the engine's own forward model would: pick
+/// a plausible SOC shape, compute what its aggregates would be, and ask
+/// the engine to reproduce them. This guarantees feasibility without
+/// duplicating the solver's feasibility logic.
+fn arb_targets() -> impl Strategy<Value = ReconstructionTargets> {
+    (
+        3usize..24,            // cores
+        0.05f64..1.6,          // normalized stdev target
+        12u64..2000,           // T_max scale
+        50u64..4000,           // scan per core scale
+        5u64..400,             // io per core scale
+    )
+        .prop_map(|(n, nstd, t_scale, s_scale, io_scale)| {
+            // Forward model: exponential pattern profile.
+            let alpha = 4.0 * nstd; // rough; exact value irrelevant
+            let t_max = 64 + t_scale * 20;
+            let patterns: Vec<u64> = (0..n)
+                .map(|i| {
+                    ((t_max as f64 * (-alpha * i as f64 / n as f64).exp()).round() as u64).max(1)
+                })
+                .collect();
+            let scan: Vec<u64> = (0..n).map(|i| s_scale + (i as u64 * 13) % s_scale.max(1)).collect();
+            let io: Vec<u64> = (0..n).map(|i| io_scale + (i as u64 * 7) % io_scale.max(1)).collect();
+            let io_chip = 100u64;
+            let s_tot: u64 = scan.iter().sum();
+            let v = (io_chip + 2 * s_tot) * t_max;
+            let p: u64 = patterns.iter().zip(&io).map(|(&t, &x)| t * x).sum();
+            let b: u64 = io_chip * t_max
+                + patterns
+                    .iter()
+                    .zip(&scan)
+                    .map(|(&t, &s)| 2 * s * (t_max - t))
+                    .sum::<u64>();
+            let nstd_actual = {
+                let st = modsoc_soc::stats::SampleStats::of(&patterns);
+                st.normalized_stdev()
+            };
+            ReconstructionTargets {
+                name: "prop".into(),
+                cores: n,
+                norm_stdev: nstd_actual,
+                tdv_opt_mono: v,
+                penalty: p,
+                benefit: b,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feasible_targets_reconstruct_within_tolerance(targets in arb_targets()) {
+        let soc = match reconstruct(&targets) {
+            Ok(soc) => soc,
+            // A generated tuple can still trip a feasibility guard
+            // (e.g. benefit vs variation); rejection is acceptable,
+            // silent mismatch is not.
+            Err(_) => return Ok(()),
+        };
+        let a = SocTdvAnalysis::compute(&soc, &TdvOptions::tables_3_4()).expect("analysis");
+        let rel = |x: u64, y: u64| (x as f64 - y as f64).abs() / (y as f64).max(1.0);
+        prop_assert!(
+            rel(a.monolithic_optimistic().total(), targets.tdv_opt_mono) < 1e-3,
+            "mono {} vs {}",
+            a.monolithic_optimistic().total(),
+            targets.tdv_opt_mono
+        );
+        // Penalty fit granularity is bounded by the smallest pattern
+        // count over the penalty; allow the larger of 1% and that bound.
+        let t_min = soc
+            .iter()
+            .filter(|(_, c)| c.patterns > 0 && !c.is_hierarchical())
+            .map(|(_, c)| c.patterns)
+            .min()
+            .unwrap_or(1) as f64;
+        let pen_tol = (t_min / targets.penalty.max(1) as f64).max(1e-2);
+        prop_assert!(
+            rel(a.penalty(), targets.penalty) < pen_tol,
+            "penalty {} vs {} (tol {pen_tol})",
+            a.penalty(),
+            targets.penalty
+        );
+        prop_assert!(
+            rel(a.benefit(), targets.benefit) < 1e-2,
+            "benefit {} vs {}",
+            a.benefit(),
+            targets.benefit
+        );
+        let st = pattern_count_stats(&soc);
+        prop_assert!(
+            (st.normalized_stdev() - targets.norm_stdev).abs() < 0.05,
+            "nstd {} vs {}",
+            st.normalized_stdev(),
+            targets.norm_stdev
+        );
+        prop_assert_eq!(st.n, targets.cores);
+        // Structural sanity.
+        soc.validate().expect("valid soc");
+        prop_assert_eq!(soc.core_count(), targets.cores + 1);
+    }
+
+    #[test]
+    fn reconstruction_is_pure(targets in arb_targets()) {
+        let a = reconstruct(&targets);
+        let b = reconstruct(&targets);
+        prop_assert_eq!(a, b);
+    }
+}

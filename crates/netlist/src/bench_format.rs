@@ -1,0 +1,394 @@
+//! ISCAS'89 `.bench` netlist format reader and writer.
+//!
+//! The `.bench` format is the textual form of the ISCAS'85/'89 benchmark
+//! suites the paper builds SOC1 and SOC2 from:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G17 = NAND(G10, G0)
+//! ```
+//!
+//! Forward references are allowed (a gate may use a signal defined later),
+//! which is how sequential feedback loops are written.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Parse a `.bench` netlist into a [`Circuit`].
+///
+/// The circuit name is taken from `name`. Signal names become node names.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] with a line number for any
+/// syntactic problem, [`NetlistError::UnknownName`] if a referenced signal
+/// is never defined, and validation errors for structural problems.
+///
+/// # Example
+///
+/// ```
+/// use modsoc_netlist::bench_format::parse_bench;
+///
+/// # fn main() -> Result<(), modsoc_netlist::NetlistError> {
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let c = parse_bench("nand2", src)?;
+/// assert_eq!(c.input_count(), 2);
+/// assert_eq!(c.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
+    // Two-phase build to support forward references:
+    // phase 1 collects definitions, phase 2 instantiates in an order where
+    // fanins exist (creating placeholder order via dependency resolution,
+    // with DFFs allowed to close feedback loops).
+    struct Def {
+        kind: GateKind,
+        fanin: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut defs: Vec<(String, Def)> = Vec::new();
+    let mut defined: HashMap<String, ()> = HashMap::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            let sig = rest.to_string();
+            if defined.insert(sig.clone(), ()).is_some() {
+                return Err(NetlistError::ParseBench {
+                    line,
+                    message: format!("signal `{sig}` defined twice"),
+                });
+            }
+            inputs.push((sig, line));
+        } else if let Some(rest) = strip_directive(text, "OUTPUT") {
+            outputs.push((rest.to_string(), line));
+        } else if let Some(eq) = text.find('=') {
+            let lhs = text[..eq].trim().to_string();
+            let rhs = text[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::ParseBench {
+                line,
+                message: format!("expected `KIND(...)` after `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::ParseBench {
+                    line,
+                    message: "missing closing parenthesis".into(),
+                });
+            }
+            let kw = rhs[..open].trim();
+            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::ParseBench {
+                line,
+                message: format!("unknown gate kind `{kw}`"),
+            })?;
+            let args = rhs[open + 1..rhs.len() - 1].trim();
+            let fanin: Vec<String> = if args.is_empty() {
+                Vec::new()
+            } else {
+                args.split(',').map(|s| s.trim().to_string()).collect()
+            };
+            if fanin.iter().any(String::is_empty) {
+                return Err(NetlistError::ParseBench {
+                    line,
+                    message: "empty fanin name".into(),
+                });
+            }
+            if !kind.arity_ok(fanin.len()) {
+                return Err(NetlistError::ParseBench {
+                    line,
+                    message: format!("gate kind {kind} cannot take {} fanins", fanin.len()),
+                });
+            }
+            if defined.insert(lhs.clone(), ()).is_some() {
+                return Err(NetlistError::ParseBench {
+                    line,
+                    message: format!("signal `{lhs}` defined twice"),
+                });
+            }
+            defs.push((lhs, Def { kind, fanin, line }));
+        } else {
+            return Err(NetlistError::ParseBench {
+                line,
+                message: format!("unrecognized line `{text}`"),
+            });
+        }
+    }
+
+    // Instantiate: inputs first, then all flip-flops with deferred fanin
+    // (their outputs are sequential sources usable by any gate), then the
+    // combinational gates in dependency order, and finally close the
+    // flip-flop fanins.
+    let mut c = Circuit::new(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (sig, _line) in &inputs {
+        let id = c.add_input(sig.clone());
+        ids.insert(sig.clone(), id);
+    }
+    for (sig, d) in &defs {
+        if d.kind == GateKind::Dff {
+            let id = c.add_dff_deferred(sig.clone()).map_err(|e| match e {
+                NetlistError::DuplicateName { name } => NetlistError::ParseBench {
+                    line: d.line,
+                    message: format!("signal `{name}` defined twice"),
+                },
+                other => other,
+            })?;
+            ids.insert(sig.clone(), id);
+        }
+    }
+
+    // Kahn order over combinational definitions (DFF outputs are sources).
+    let index_of: HashMap<&str, usize> = defs
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, d))| d.kind != GateKind::Dff)
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; defs.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+    for (i, (_n, d)) in defs.iter().enumerate() {
+        if d.kind == GateKind::Dff {
+            continue;
+        }
+        for f in &d.fanin {
+            if let Some(&j) = index_of.get(f.as_str()) {
+                dependents[j].push(i);
+                indegree[i] += 1;
+            } else if !ids.contains_key(f) {
+                return Err(NetlistError::ParseBench {
+                    line: d.line,
+                    message: format!("signal `{f}` is never defined"),
+                });
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..defs.len())
+        .filter(|&i| defs[i].1.kind != GateKind::Dff && indegree[i] == 0)
+        .collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        let (sig, d) = &defs[i];
+        let fanin: Result<Vec<NodeId>, NetlistError> = d
+            .fanin
+            .iter()
+            .map(|f| {
+                ids.get(f.as_str())
+                    .copied()
+                    .ok_or_else(|| NetlistError::UnknownName { name: f.clone() })
+            })
+            .collect();
+        let id = c.add_gate(sig.clone(), d.kind, &fanin?)?;
+        ids.insert(sig.clone(), id);
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    let comb_total = defs.iter().filter(|(_, d)| d.kind != GateKind::Dff).count();
+    if queue.len() != comb_total {
+        let stuck = defs
+            .iter()
+            .position(|(n, d)| d.kind != GateKind::Dff && !ids.contains_key(n))
+            .expect("some combinational def unplaced");
+        return Err(NetlistError::CombinationalCycle {
+            node: defs[stuck].0.clone(),
+        });
+    }
+    // Close flip-flop fanins.
+    for (sig, d) in &defs {
+        if d.kind != GateKind::Dff {
+            continue;
+        }
+        let fid = ids
+            .get(d.fanin[0].as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::ParseBench {
+                line: d.line,
+                message: format!("signal `{}` is never defined", d.fanin[0]),
+            })?;
+        let id = ids[sig.as_str()];
+        c.set_fanin(id, &[fid])?;
+    }
+
+    for (sig, line) in &outputs {
+        let id = ids.get(sig.as_str()).copied().ok_or(NetlistError::ParseBench {
+            line: *line,
+            message: format!("output signal `{sig}` is never defined"),
+        })?;
+        c.mark_output(id);
+    }
+    c.validate()?;
+    Ok(c)
+}
+
+fn strip_directive<'a>(text: &'a str, kw: &str) -> Option<&'a str> {
+    let upper = text.to_ascii_uppercase();
+    if !upper.starts_with(kw) {
+        return None;
+    }
+    let rest = text[kw.len()..].trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serialize a circuit to `.bench` text.
+///
+/// Round-trips with [`parse_bench`]: parsing the output reproduces an
+/// isomorphic circuit (same names, kinds, connectivity, port lists).
+#[must_use]
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &pi in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.node(pi).name);
+    }
+    for &po in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.node(po).name);
+    }
+    for (_, node) in circuit.iter() {
+        if node.kind == GateKind::Input {
+            continue;
+        }
+        let kw = node.kind.bench_keyword().expect("non-input kinds have keywords");
+        let fanin: Vec<&str> = node
+            .fanin
+            .iter()
+            .map(|f| circuit.node(*f).name.as_str())
+            .collect();
+        let _ = writeln!(out, "{} = {}({})", node.name, kw, fanin.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "
+# tiny sequential benchmark in the s27 style
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NOR(G0, G14)
+G11 = NOR(G5, G9)
+G9 = NAND(G1, G2)
+G14 = NOT(G6)
+G17 = OR(G10, G11)
+";
+
+    #[test]
+    fn parses_with_forward_refs_and_feedback() {
+        let c = parse_bench("s27ish", S27_LIKE).unwrap();
+        assert_eq!(c.input_count(), 3);
+        assert_eq!(c.output_count(), 1);
+        assert_eq!(c.dff_count(), 2);
+        assert_eq!(c.gate_count(), 5);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c1 = parse_bench("rt", S27_LIKE).unwrap();
+        let text = write_bench(&c1);
+        let c2 = parse_bench("rt", &text).unwrap();
+        assert_eq!(c1.input_count(), c2.input_count());
+        assert_eq!(c1.output_count(), c2.output_count());
+        assert_eq!(c1.dff_count(), c2.dff_count());
+        assert_eq!(c1.gate_count(), c2.gate_count());
+        // Connectivity by name.
+        for (_, n1) in c1.iter() {
+            let id2 = c2.find(&n1.name).expect("name preserved");
+            let n2 = c2.node(id2);
+            assert_eq!(n1.kind, n2.kind, "{}", n1.name);
+            let f1: Vec<&str> = n1.fanin.iter().map(|f| c1.node(*f).name.as_str()).collect();
+            let f2: Vec<&str> = n2.fanin.iter().map(|f| c2.node(*f).name.as_str()).collect();
+            assert_eq!(f1, f2, "{}", n1.name);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse_bench("c", "# hi\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a) # inline\n").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nb = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nOUTPUT(b)\nb = NOT(zz)\n").unwrap_err();
+        assert!(
+            matches!(err, NetlistError::ParseBench { .. } | NetlistError::UnknownName { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let err = parse_bench("c", "INPUT(a)\na = NOT(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nx = AND(a, y)\ny = NOT(x)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn dff_chain_feedback() {
+        // Two DFFs feeding each other: legal sequential loop.
+        let src = "
+INPUT(a)
+OUTPUT(q)
+f1 = DFF(f2)
+f2 = DFF(f1)
+q = AND(f1, a)
+";
+        let c = parse_bench("loop", src).unwrap();
+        assert_eq!(c.dff_count(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_paren_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nb = NOT(a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let c = parse_bench("c", "input(a)\noutput(b)\nb = not(a)\n").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+}

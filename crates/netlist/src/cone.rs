@@ -1,0 +1,369 @@
+//! Logic-cone extraction and overlap analysis.
+//!
+//! A *logic cone* is all the combinational logic driving one observation
+//! point (a primary output or a flip-flop data input). The DATE 2008
+//! paper's entire argument is phrased in terms of cones: the number of test
+//! patterns a circuit needs is driven by its hardest cone, per-cone pattern
+//! counts vary widely, and overlapping cones defeat pattern compaction.
+//! This module makes those quantities measurable on real netlists.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+
+/// One logic cone: the transitive fanin of a single observation point.
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// The observation point (an output driver node).
+    pub output: NodeId,
+    /// Index of this cone's observation point in `circuit.outputs()`.
+    pub output_index: usize,
+    /// All nodes in the cone (including the output node and the support
+    /// inputs), in ascending id order.
+    pub nodes: Vec<NodeId>,
+    /// The cone's *support*: the primary inputs it depends on, ascending.
+    pub support: Vec<NodeId>,
+}
+
+impl Cone {
+    /// Number of gates in the cone (total nodes minus support inputs).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes.len() - self.support.len()
+    }
+
+    /// Cone width: the size of its input support. The paper's "number of
+    /// scan flip-flops driving the cone" for full-scan models.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.support.len()
+    }
+}
+
+/// The set of cones of a combinational circuit plus overlap statistics.
+#[derive(Debug, Clone)]
+pub struct ConeAnalysis {
+    cones: Vec<Cone>,
+    input_count: usize,
+}
+
+impl ConeAnalysis {
+    /// The extracted cones, one per circuit output, in output order.
+    #[must_use]
+    pub fn cones(&self) -> &[Cone] {
+        &self.cones
+    }
+
+    /// Number of cone pairs whose supports intersect.
+    #[must_use]
+    pub fn overlapping_pairs(&self) -> usize {
+        let sets: Vec<std::collections::HashSet<NodeId>> = self
+            .cones
+            .iter()
+            .map(|c| c.support.iter().copied().collect())
+            .collect();
+        let mut pairs = 0;
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                if !sets[i].is_disjoint(&sets[j]) {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The *overlap fraction*: average over inputs of
+    /// `(cones sharing the input − 1) / (cones − 1)`, i.e. 0 when every
+    /// input feeds exactly one cone (Figure 1(a) of the paper) and
+    /// approaching 1 when every input feeds every cone (heavy overlap,
+    /// Figure 1(b)).
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.cones.len() <= 1 || self.input_count == 0 {
+            return 0.0;
+        }
+        let mut sharing: HashMap<NodeId, usize> = HashMap::new();
+        for cone in &self.cones {
+            for &s in &cone.support {
+                *sharing.entry(s).or_insert(0) += 1;
+            }
+        }
+        if sharing.is_empty() {
+            return 0.0;
+        }
+        let denom = (self.cones.len() - 1) as f64;
+        let sum: f64 = sharing
+            .values()
+            .map(|&k| (k.saturating_sub(1)) as f64 / denom)
+            .sum();
+        sum / sharing.len() as f64
+    }
+
+    /// Maximum cone width (paper: the widest cone bounds per-pattern
+    /// useful stimulus in a monolithic pattern).
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.cones.iter().map(Cone::width).max().unwrap_or(0)
+    }
+
+    /// Mean cone width.
+    #[must_use]
+    pub fn mean_width(&self) -> f64 {
+        if self.cones.is_empty() {
+            return 0.0;
+        }
+        self.cones.iter().map(Cone::width).sum::<usize>() as f64 / self.cones.len() as f64
+    }
+}
+
+/// Extract all logic cones of a combinational circuit (one per output).
+///
+/// # Errors
+///
+/// Fails on sequential circuits ([`NetlistError::NotCombinational`]; use
+/// [`Circuit::to_test_model`] first so flip-flop boundaries become cone
+/// boundaries) and on circuits with no outputs.
+pub fn extract_cones(circuit: &Circuit) -> Result<ConeAnalysis, NetlistError> {
+    if let Some(&ff) = circuit.dffs().first() {
+        return Err(NetlistError::NotCombinational {
+            node: circuit.node(ff).name.clone(),
+        });
+    }
+    if circuit.outputs().is_empty() {
+        return Err(NetlistError::NoObservationPoints);
+    }
+    circuit.validate()?;
+    let mut cones = Vec::with_capacity(circuit.output_count());
+    let mut mark = vec![u32::MAX; circuit.node_count()];
+    for (output_index, &out) in circuit.outputs().iter().enumerate() {
+        let stamp = output_index as u32;
+        let mut stack = vec![out];
+        let mut nodes = Vec::new();
+        let mut support = Vec::new();
+        while let Some(id) = stack.pop() {
+            if mark[id.index()] == stamp {
+                continue;
+            }
+            mark[id.index()] = stamp;
+            nodes.push(id);
+            let node = circuit.node(id);
+            if node.kind == crate::gate::GateKind::Input {
+                support.push(id);
+            }
+            stack.extend(node.fanin.iter().copied());
+        }
+        nodes.sort_unstable();
+        support.sort_unstable();
+        cones.push(Cone {
+            output: out,
+            output_index,
+            nodes,
+            support,
+        });
+    }
+    Ok(ConeAnalysis {
+        cones,
+        input_count: circuit.input_count(),
+    })
+}
+
+/// Extract one cone as a stand-alone circuit: the cone's support inputs
+/// become primary inputs and its observation point the single output.
+///
+/// This is the paper's §3 thought experiment made executable — ATPG on a
+/// cone subcircuit yields that cone's *partial* pattern count, so
+/// comparing `max` over cones with the whole-circuit count measures how
+/// much compaction loses to overlapping cones.
+///
+/// # Errors
+///
+/// Propagates structural errors from circuit construction.
+pub fn cone_subcircuit(circuit: &Circuit, cone: &Cone) -> Result<Circuit, NetlistError> {
+    let mut sub = Circuit::new(format!(
+        "{}.cone{}",
+        circuit.name(),
+        cone.output_index
+    ));
+    let mut map: Vec<Option<NodeId>> = vec![None; circuit.node_count()];
+    for &s in &cone.support {
+        let id = sub.add_input(circuit.node(s).name.clone());
+        map[s.index()] = Some(id);
+    }
+    // Cone nodes are stored ascending; within the original circuit's
+    // construction order every fanin of a combinational gate precedes it,
+    // so ascending id order is a valid topological emission order here.
+    let order = circuit.topo_order()?;
+    for id in order {
+        if map[id.index()].is_some() || !cone_contains(cone, id) {
+            continue;
+        }
+        let node = circuit.node(id);
+        let fanin: Vec<NodeId> = node
+            .fanin
+            .iter()
+            .map(|f| map[f.index()].expect("cone closure places fanins first"))
+            .collect();
+        let nid = sub.add_gate(node.name.clone(), node.kind, &fanin)?;
+        map[id.index()] = Some(nid);
+    }
+    sub.mark_output(map[cone.output.index()].expect("output is in the cone"));
+    sub.validate()?;
+    Ok(sub)
+}
+
+fn cone_contains(cone: &Cone, id: NodeId) -> bool {
+    cone.nodes.binary_search(&id).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    /// Two disjoint cones (Figure 1(a) shape) and one shared-input pair
+    /// builder (Figure 1(b) shape).
+    fn disjoint_cones() -> Circuit {
+        let mut c = Circuit::new("disjoint");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let y = c.add_input("y");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Or, &[x, y]).unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        c
+    }
+
+    fn overlapping_cones() -> Circuit {
+        let mut c = Circuit::new("overlap");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Or, &[b, x]).unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        c
+    }
+
+    #[test]
+    fn disjoint_supports() {
+        let an = extract_cones(&disjoint_cones()).unwrap();
+        assert_eq!(an.cones().len(), 2);
+        assert_eq!(an.overlapping_pairs(), 0);
+        assert_eq!(an.overlap_fraction(), 0.0);
+        assert_eq!(an.cones()[0].width(), 2);
+        assert_eq!(an.cones()[0].gate_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_supports_detected() {
+        let an = extract_cones(&overlapping_cones()).unwrap();
+        assert_eq!(an.overlapping_pairs(), 1);
+        assert!(an.overlap_fraction() > 0.0);
+    }
+
+    #[test]
+    fn cone_contains_transitive_fanin() {
+        let mut c = Circuit::new("deep");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate("g1", GateKind::Nand, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Not, &[g1]).unwrap();
+        let g3 = c.add_gate("g3", GateKind::Buf, &[g2]).unwrap();
+        c.mark_output(g3);
+        let an = extract_cones(&c).unwrap();
+        let cone = &an.cones()[0];
+        assert_eq!(cone.nodes.len(), 5);
+        assert_eq!(cone.support.len(), 2);
+        assert_eq!(cone.gate_count(), 3);
+    }
+
+    #[test]
+    fn reconvergence_counted_once() {
+        // a feeds g1 twice (via two paths) — should appear once in support.
+        let mut c = Circuit::new("reconv");
+        let a = c.add_input("a");
+        let n1 = c.add_gate("n1", GateKind::Not, &[a]).unwrap();
+        let g = c.add_gate("g", GateKind::And, &[a, n1]).unwrap();
+        c.mark_output(g);
+        let an = extract_cones(&c).unwrap();
+        assert_eq!(an.cones()[0].support, vec![a]);
+    }
+
+    #[test]
+    fn widths_and_means() {
+        let an = extract_cones(&disjoint_cones()).unwrap();
+        assert_eq!(an.max_width(), 2);
+        assert!((an.mean_width() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_rejected() {
+        let mut c = Circuit::new("seq");
+        let a = c.add_input("a");
+        let ff = c.add_gate("ff", GateKind::Dff, &[a]).unwrap();
+        c.mark_output(ff);
+        assert!(extract_cones(&c).is_err());
+    }
+
+    #[test]
+    fn cone_subcircuit_extracts_closed_logic() {
+        let mut c = Circuit::new("s");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let g1 = c.add_gate("g1", GateKind::Nand, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Not, &[g1]).unwrap();
+        let g3 = c.add_gate("g3", GateKind::Or, &[x, b]).unwrap();
+        c.mark_output(g2);
+        c.mark_output(g3);
+        let an = extract_cones(&c).unwrap();
+        let sub = cone_subcircuit(&c, &an.cones()[0]).unwrap();
+        assert_eq!(sub.input_count(), 2); // a, b
+        assert_eq!(sub.output_count(), 1);
+        assert_eq!(sub.gate_count(), 2); // g1, g2
+        sub.validate().unwrap();
+        let sub2 = cone_subcircuit(&c, &an.cones()[1]).unwrap();
+        assert_eq!(sub2.input_count(), 2); // x, b
+        assert_eq!(sub2.gate_count(), 1);
+    }
+
+    #[test]
+    fn cone_subcircuit_functionally_equivalent() {
+        use crate::sim::simulate_single;
+        let mut c = Circuit::new("eq");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate("g", GateKind::Xor, &[a, b]).unwrap();
+        let h = c.add_gate("h", GateKind::Not, &[g]).unwrap();
+        c.mark_output(h);
+        let an = extract_cones(&c).unwrap();
+        let sub = cone_subcircuit(&c, &an.cones()[0]).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let full = simulate_single(&c, &[va, vb]).unwrap();
+            let part = simulate_single(&sub, &[va, vb]).unwrap();
+            assert_eq!(
+                full[c.outputs()[0].index()],
+                part[sub.outputs()[0].index()]
+            );
+        }
+    }
+
+    #[test]
+    fn full_overlap_fraction_is_one() {
+        // Every input feeds both cones.
+        let mut c = Circuit::new("full");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Or, &[a, b]).unwrap();
+        c.mark_output(g1);
+        c.mark_output(g2);
+        let an = extract_cones(&c).unwrap();
+        assert!((an.overlap_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Error type shared by the netlist crate.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, transforming, or parsing
+/// netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with an arity its kind does not allow
+    /// (e.g. a `NOT` with two fanins).
+    BadArity {
+        /// Gate name as given at construction time.
+        gate: String,
+        /// The gate kind.
+        kind: crate::gate::GateKind,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A fanin reference points at a node id that does not exist.
+    DanglingFanin {
+        /// Gate whose fanin is dangling.
+        gate: String,
+        /// The out-of-range node id.
+        id: u32,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle {
+        /// Name of a node on the cycle.
+        node: String,
+    },
+    /// Two nodes were declared with the same name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A name was referenced before being defined (parser) or not found
+    /// (lookup).
+    UnknownName {
+        /// The missing name.
+        name: String,
+    },
+    /// A `.bench` line could not be parsed.
+    ParseBench {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// The operation requires a purely combinational circuit but the circuit
+    /// contains flip-flops.
+    NotCombinational {
+        /// Name of a sequential node.
+        node: String,
+    },
+    /// The circuit has no observation points (no primary outputs and no
+    /// flip-flops), so cones/tests are undefined.
+    NoObservationPoints,
+    /// A port-level stitch between two circuits was inconsistent
+    /// (width mismatch or unknown port).
+    PortMismatch {
+        /// Explanation of the mismatch.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::DanglingFanin { gate, id } => {
+                write!(f, "gate `{gate}` references nonexistent node id {id}")
+            }
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            NetlistError::UnknownName { name } => {
+                write!(f, "unknown node name `{name}`")
+            }
+            NetlistError::ParseBench { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::NotCombinational { node } => {
+                write!(f, "circuit is not combinational: node `{node}` is sequential")
+            }
+            NetlistError::NoObservationPoints => {
+                write!(f, "circuit has no primary outputs and no flip-flops")
+            }
+            NetlistError::PortMismatch { message } => {
+                write!(f, "port mismatch: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = NetlistError::BadArity {
+            gate: "g1".into(),
+            kind: GateKind::Not,
+            got: 2,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("gate"), "{s}");
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants: Vec<NetlistError> = vec![
+            NetlistError::DanglingFanin { gate: "g".into(), id: 7 },
+            NetlistError::CombinationalCycle { node: "n".into() },
+            NetlistError::DuplicateName { name: "x".into() },
+            NetlistError::UnknownName { name: "y".into() },
+            NetlistError::ParseBench { line: 3, message: "bad token".into() },
+            NetlistError::NotCombinational { node: "ff".into() },
+            NetlistError::NoObservationPoints,
+            NetlistError::PortMismatch { message: "width".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

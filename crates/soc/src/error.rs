@@ -1,0 +1,95 @@
+//! Error type for the SOC data model.
+
+use std::fmt;
+
+/// Errors from SOC construction, validation, and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A core name was used twice.
+    DuplicateCore {
+        /// The offending name.
+        name: String,
+    },
+    /// A child reference points at a core that does not exist.
+    UnknownCore {
+        /// The missing name or index rendering.
+        name: String,
+    },
+    /// A core is embedded in more than one parent.
+    MultiplyEmbedded {
+        /// The doubly-embedded core.
+        name: String,
+    },
+    /// The embedding hierarchy contains a cycle.
+    CyclicHierarchy {
+        /// A core on the cycle.
+        name: String,
+    },
+    /// The SOC has no cores.
+    Empty,
+    /// A `.soc`-style file could not be parsed.
+    ParseSoc {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The reconstruction targets are infeasible (e.g. benefit smaller
+    /// than the chip-pin term, or a normalized standard deviation beyond
+    /// what the core count permits).
+    Infeasible {
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::DuplicateCore { name } => write!(f, "duplicate core name `{name}`"),
+            SocError::UnknownCore { name } => write!(f, "unknown core `{name}`"),
+            SocError::MultiplyEmbedded { name } => {
+                write!(f, "core `{name}` is embedded in more than one parent")
+            }
+            SocError::CyclicHierarchy { name } => {
+                write!(f, "embedding hierarchy is cyclic at core `{name}`")
+            }
+            SocError::Empty => write!(f, "soc has no cores"),
+            SocError::ParseSoc { line, message } => {
+                write!(f, "soc parse error at line {line}: {message}")
+            }
+            SocError::Infeasible { message } => {
+                write!(f, "reconstruction targets are infeasible: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        for e in [
+            SocError::DuplicateCore { name: "x".into() },
+            SocError::UnknownCore { name: "y".into() },
+            SocError::MultiplyEmbedded { name: "z".into() },
+            SocError::CyclicHierarchy { name: "w".into() },
+            SocError::Empty,
+            SocError::ParseSoc { line: 2, message: "bad".into() },
+            SocError::Infeasible { message: "benefit too small".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SocError>();
+    }
+}

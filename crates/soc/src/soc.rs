@@ -1,0 +1,321 @@
+//! The SOC container and hierarchy queries.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::core::{CoreId, CoreSpec};
+use crate::error::SocError;
+
+/// A system-on-chip: cores plus their embedding hierarchy.
+///
+/// Cores are added bottom-up (children before parents, since a parent's
+/// `children` list references existing [`CoreId`]s). Cores not embedded
+/// anywhere are *top-level*; their terminals are the chip pins.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Soc {
+    name: String,
+    cores: Vec<CoreSpec>,
+}
+
+impl Soc {
+    /// Create an empty SOC.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Soc {
+        Soc {
+            name: name.into(),
+            cores: Vec::new(),
+        }
+    }
+
+    /// The SOC name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a core; children must already exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::DuplicateCore`] or [`SocError::UnknownCore`].
+    pub fn add_core(&mut self, spec: CoreSpec) -> Result<CoreId, SocError> {
+        if self.cores.iter().any(|c| c.name == spec.name) {
+            return Err(SocError::DuplicateCore { name: spec.name });
+        }
+        for child in &spec.children {
+            if child.index() >= self.cores.len() {
+                return Err(SocError::UnknownCore {
+                    name: child.to_string(),
+                });
+            }
+        }
+        self.cores.push(spec);
+        Ok(CoreId::from_index(self.cores.len() - 1))
+    }
+
+    /// Access a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this SOC.
+    #[must_use]
+    pub fn core(&self, id: CoreId) -> &CoreSpec {
+        &self.cores[id.index()]
+    }
+
+    /// Number of cores (including any top-level glue core).
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Iterate `(CoreId, &CoreSpec)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, &CoreSpec)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CoreId::from_index(i), c))
+    }
+
+    /// Find a core by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<CoreId> {
+        self.cores
+            .iter()
+            .position(|c| c.name == name)
+            .map(CoreId::from_index)
+    }
+
+    /// Cores not embedded in any parent. Their terminals are chip pins.
+    #[must_use]
+    pub fn top_level_cores(&self) -> Vec<CoreId> {
+        let embedded: HashSet<CoreId> = self
+            .cores
+            .iter()
+            .flat_map(|c| c.children.iter().copied())
+            .collect();
+        (0..self.cores.len())
+            .map(CoreId::from_index)
+            .filter(|id| !embedded.contains(id))
+            .collect()
+    }
+
+    /// Chip-level pin counts `(I, O, B)`: the summed terminals of the
+    /// top-level cores.
+    #[must_use]
+    pub fn chip_pins(&self) -> (u64, u64, u64) {
+        self.top_level_cores()
+            .into_iter()
+            .map(|id| self.core(id))
+            .fold((0, 0, 0), |(i, o, b), c| {
+                (i + c.inputs, o + c.outputs, b + c.bidirs)
+            })
+    }
+
+    /// Total scan cells over all cores — `S_chip` in Equation 1.
+    #[must_use]
+    pub fn total_scan_cells(&self) -> u64 {
+        self.cores.iter().map(|c| c.scan_cells).sum()
+    }
+
+    /// Maximum per-core pattern count — the paper's lower bound on the
+    /// monolithic pattern count (Equation 2) and the `T` of Equation 3.
+    #[must_use]
+    pub fn max_core_patterns(&self) -> u64 {
+        self.cores.iter().map(|c| c.patterns).max().unwrap_or(0)
+    }
+
+    /// The flattened single-core view of this SOC: one core with the
+    /// chip pins and the summed scan cells, tested with `t_mono`
+    /// patterns — the "monolithic entity (with isolation logic ripped
+    /// out)" of the paper's §3, as a [`CoreSpec`].
+    ///
+    /// Feeding the result back through the modular TDV equation
+    /// reproduces Equation 1 exactly (a handy cross-check used in the
+    /// test suite).
+    #[must_use]
+    pub fn flattened_spec(&self, t_mono: u64) -> CoreSpec {
+        let (i, o, b) = self.chip_pins();
+        CoreSpec::leaf(
+            format!("{}.flat", self.name),
+            i,
+            o,
+            b,
+            self.total_scan_cells(),
+            t_mono,
+        )
+    }
+
+    /// Validate the hierarchy: at least one core, every core embedded at
+    /// most once, and no cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), SocError> {
+        if self.cores.is_empty() {
+            return Err(SocError::Empty);
+        }
+        let mut embed_count = vec![0usize; self.cores.len()];
+        for c in &self.cores {
+            for child in &c.children {
+                if child.index() >= self.cores.len() {
+                    return Err(SocError::UnknownCore {
+                        name: child.to_string(),
+                    });
+                }
+                embed_count[child.index()] += 1;
+            }
+        }
+        if let Some(i) = embed_count.iter().position(|&k| k > 1) {
+            return Err(SocError::MultiplyEmbedded {
+                name: self.cores[i].name.clone(),
+            });
+        }
+        // Cycle check: children always have smaller ids than parents when
+        // built through `add_core`, but deserialized/hand-built SOCs could
+        // violate that, so walk properly.
+        let mut state = vec![0u8; self.cores.len()]; // 0 unvisited, 1 on stack, 2 done
+        for start in 0..self.cores.len() {
+            if state[start] != 0 {
+                continue;
+            }
+            // Iterative DFS.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                let children = &self.cores[node].children;
+                if frame.1 < children.len() {
+                    let ch = children[frame.1].index();
+                    frame.1 += 1;
+                    match state[ch] {
+                        0 => {
+                            state[ch] = 1;
+                            stack.push((ch, 0));
+                        }
+                        1 => {
+                            return Err(SocError::CyclicHierarchy {
+                                name: self.cores[ch].name.clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    state[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (i, o, b) = self.chip_pins();
+        write!(
+            f,
+            "{}: {} cores, chip I={i} O={o} B={b}, S_total={}",
+            self.name,
+            self.core_count(),
+            self.total_scan_cells()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Soc {
+    type Item = (CoreId, &'a CoreSpec);
+    type IntoIter = Box<dyn Iterator<Item = (CoreId, &'a CoreSpec)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Soc {
+        let mut s = Soc::new("s");
+        let a = s.add_core(CoreSpec::leaf("a", 10, 5, 0, 100, 50)).unwrap();
+        let b = s.add_core(CoreSpec::leaf("b", 4, 4, 1, 20, 200)).unwrap();
+        s.add_core(CoreSpec::parent("top", 30, 12, 0, 0, 3, vec![a, b]))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn hierarchy_queries() {
+        let s = sample();
+        s.validate().unwrap();
+        assert_eq!(s.core_count(), 3);
+        assert_eq!(s.top_level_cores(), vec![CoreId::from_index(2)]);
+        assert_eq!(s.chip_pins(), (30, 12, 0));
+        assert_eq!(s.total_scan_cells(), 120);
+        assert_eq!(s.max_core_patterns(), 200);
+        assert_eq!(s.find("b"), Some(CoreId::from_index(1)));
+        assert_eq!(s.find("zz"), None);
+    }
+
+    #[test]
+    fn multiple_top_level_cores_sum_pins() {
+        let mut s = Soc::new("flat");
+        s.add_core(CoreSpec::leaf("a", 3, 1, 0, 5, 10)).unwrap();
+        s.add_core(CoreSpec::leaf("b", 4, 2, 1, 5, 20)).unwrap();
+        assert_eq!(s.chip_pins(), (7, 3, 1));
+        assert_eq!(s.top_level_cores().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut s = Soc::new("d");
+        s.add_core(CoreSpec::leaf("a", 1, 1, 0, 0, 1)).unwrap();
+        let err = s.add_core(CoreSpec::leaf("a", 1, 1, 0, 0, 1)).unwrap_err();
+        assert!(matches!(err, SocError::DuplicateCore { .. }));
+    }
+
+    #[test]
+    fn unknown_child_rejected() {
+        let mut s = Soc::new("u");
+        let err = s
+            .add_core(CoreSpec::parent("p", 1, 1, 0, 0, 1, vec![CoreId::from_index(7)]))
+            .unwrap_err();
+        assert!(matches!(err, SocError::UnknownCore { .. }));
+    }
+
+    #[test]
+    fn double_embedding_rejected() {
+        let mut s = Soc::new("m");
+        let a = s.add_core(CoreSpec::leaf("a", 1, 1, 0, 0, 1)).unwrap();
+        s.add_core(CoreSpec::parent("p1", 1, 1, 0, 0, 1, vec![a])).unwrap();
+        s.add_core(CoreSpec::parent("p2", 1, 1, 0, 0, 1, vec![a])).unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(SocError::MultiplyEmbedded { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_soc_invalid() {
+        assert!(matches!(Soc::new("e").validate(), Err(SocError::Empty)));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = sample();
+        assert!(s.to_string().contains("3 cores"));
+    }
+
+    #[test]
+    fn flattened_spec_sums_the_chip() {
+        let s = sample();
+        let flat = s.flattened_spec(500);
+        assert_eq!(flat.inputs, 30);
+        assert_eq!(flat.outputs, 12);
+        assert_eq!(flat.scan_cells, 120);
+        assert_eq!(flat.patterns, 500);
+        assert!(!flat.is_hierarchical());
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness tests for the `.soc` text parser: arbitrary input never
+//! panics, and structured-but-hostile inputs produce clean errors.
+
+use proptest::prelude::*;
+
+use modsoc_soc::format::{parse_soc, write_soc};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        let _ = parse_soc(&text);
+    }
+
+    #[test]
+    fn structured_junk_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("soc x".to_string()),
+                "core [a-z]{1,4}( [iobst]=[0-9]{1,6})*".prop_map(|s| s),
+                "core [a-z]{1,4} children=[a-z]{1,4}(,[a-z]{1,4})*".prop_map(|s| s),
+                Just("# comment".to_string()),
+                Just(String::new()),
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(soc) = parse_soc(&text) {
+            // Anything that parses must validate and round-trip.
+            soc.validate().expect("parsed socs are valid");
+            let again = parse_soc(&write_soc(&soc)).expect("round-trips");
+            prop_assert_eq!(again.core_count(), soc.core_count());
+        }
+    }
+}
+
+#[test]
+fn hostile_edge_cases_error_cleanly() {
+    for text in [
+        "soc",                       // missing name
+        "soc a\nsoc b",             // duplicate soc line
+        "core a children=a",        // self-embedding
+        "core a i=99999999999999999999", // overflow
+        "core a children=",         // empty child name
+        "soc x\ncore a i=3 q",      // stray token
+    ] {
+        let result = parse_soc(text);
+        assert!(result.is_err(), "should reject: {text:?}");
+        let message = result.unwrap_err().to_string();
+        assert!(!message.is_empty());
+    }
+}
+
+#[test]
+fn self_embedding_is_cyclic() {
+    let err = parse_soc("core a children=a").unwrap_err();
+    assert!(matches!(err, modsoc_soc::SocError::CyclicHierarchy { .. }), "{err}");
+}

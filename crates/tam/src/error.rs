@@ -1,0 +1,62 @@
+//! Error type for the TAM crate.
+
+use std::fmt;
+
+/// Errors from wrapper/TAM design and scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TamError {
+    /// A TAM or wrapper width of zero was requested.
+    ZeroWidth,
+    /// A TAM architecture needs at least one core.
+    NoCores,
+    /// The Distribution architecture needs at least one wire per core.
+    WidthBelowCoreCount {
+        /// Requested total width.
+        width: usize,
+        /// Number of cores that each need a wire.
+        cores: usize,
+    },
+    /// A single core's test power exceeds the chip-wide budget, so no
+    /// schedule can exist.
+    PowerBudgetTooSmall {
+        /// The offending core.
+        core: String,
+        /// Its test power.
+        power: u64,
+        /// The budget it exceeds.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for TamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamError::ZeroWidth => write!(f, "tam width must be at least one"),
+            TamError::NoCores => write!(f, "at least one core is required"),
+            TamError::WidthBelowCoreCount { width, cores } => write!(
+                f,
+                "distribution architecture needs width >= cores ({width} < {cores})"
+            ),
+            TamError::PowerBudgetTooSmall { core, power, budget } => write!(
+                f,
+                "core `{core}` draws {power} alone, over the budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TamError::ZeroWidth.to_string().contains("width"));
+        assert!(TamError::NoCores.to_string().contains("core"));
+        let e = TamError::WidthBelowCoreCount { width: 2, cores: 5 };
+        assert!(e.to_string().contains("2 < 5"));
+    }
+}

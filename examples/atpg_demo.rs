@@ -1,0 +1,71 @@
+//! Drive the ATPG substrate directly: parse a `.bench` netlist, inspect
+//! its fault universe, generate tests, and verify coverage.
+//!
+//! Run with: `cargo run --example atpg_demo`
+
+use modsoc::atpg::collapse::collapse_faults;
+use modsoc::atpg::fault::FaultStatus;
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::netlist::bench_format::parse_bench;
+use modsoc::netlist::cone::extract_cones;
+use modsoc::netlist::CircuitStats;
+
+// The classic ISCAS'85 c17 plus a redundant OR stage (g24 = a OR NOT a is
+// constant 1, so its stuck-at-1 fault is untestable).
+const BENCH: &str = "
+INPUT(g1)
+INPUT(g2)
+INPUT(g3)
+INPUT(g6)
+INPUT(g7)
+OUTPUT(g22)
+OUTPUT(g23)
+OUTPUT(g24)
+g10 = NAND(g1, g3)
+g11 = NAND(g3, g6)
+g16 = NAND(g2, g11)
+g19 = NAND(g11, g7)
+g22 = NAND(g10, g16)
+g23 = NAND(g16, g19)
+gn = NOT(g1)
+g24 = OR(g1, gn)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse_bench("c17_plus", BENCH)?;
+    println!("{}", CircuitStats::of(&circuit)?);
+
+    let cones = extract_cones(&circuit)?;
+    println!(
+        "{} logic cones, widths {:?}, {} overlapping pairs",
+        cones.cones().len(),
+        cones.cones().iter().map(|c| c.width()).collect::<Vec<_>>(),
+        cones.overlapping_pairs()
+    );
+
+    let collapsed = collapse_faults(&circuit);
+    println!(
+        "fault universe: {} stuck-at faults collapse to {} classes ({:.2}x)",
+        collapsed.universe_size(),
+        collapsed.class_count(),
+        collapsed.collapse_ratio()
+    );
+
+    let result = Atpg::new(AtpgOptions::default()).run(&circuit)?;
+    println!(
+        "ATPG: {} patterns, {:.1}% coverage, {} redundant fault(s) proven",
+        result.pattern_count(),
+        result.fault_coverage() * 100.0,
+        result.stats.redundant
+    );
+    for (fault, status) in &result.fault_statuses {
+        if *status == FaultStatus::Redundant {
+            println!("  redundant: {}", fault.describe(&circuit));
+        }
+    }
+    println!("\nfinal test cubes (X = don't care):");
+    for cube in result.patterns.cubes() {
+        println!("  {cube}");
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Fault diagnosis: from a failing device's syndrome back to the
+//! defect location.
+//!
+//! Generates a core, produces its ATPG pattern set, "manufactures" a
+//! defective device by picking a secret stuck-at fault, collects the
+//! tester syndrome (which patterns fail on which outputs), and runs the
+//! cause-effect diagnosis to recover the fault site.
+//!
+//! Run with: `cargo run --release --example diagnosis_demo`
+
+use modsoc::atpg::collapse::collapse_faults;
+use modsoc::atpg::diagnose::{diagnose, diagnose_with_outputs, rank_of, syndrome_of_fault};
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::circuitgen::{generate, CoreProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = CoreProfile::new("dut", 10, 6, 0).with_seed(77);
+    let circuit = generate(&profile)?;
+    println!(
+        "device under test: {} gates, {} inputs, {} outputs",
+        circuit.gate_count(),
+        circuit.input_count(),
+        circuit.output_count()
+    );
+
+    // Production test set.
+    let result = Atpg::new(AtpgOptions::default()).run(&circuit)?;
+    let patterns = result.patterns.fill_all(result.fill);
+    println!(
+        "production test set: {} patterns, {:.1}% coverage",
+        patterns.len(),
+        result.fault_coverage() * 100.0
+    );
+
+    // The "defective device": a secret fault.
+    let candidates = collapse_faults(&circuit).representatives().to_vec();
+    let secret = candidates[candidates.len() / 3];
+    println!("secret defect: {}", secret.describe(&circuit));
+
+    // Tester log.
+    let syndrome = syndrome_of_fault(&circuit, &patterns, secret)?;
+    let failing = syndrome.iter().filter(|o| !o.failing_outputs.is_empty()).count();
+    println!("tester observed {failing} failing patterns of {}", syndrome.len());
+
+    // Diagnosis, pattern-level then output-level.
+    let coarse = diagnose(&circuit, &syndrome, &candidates)?;
+    let refined = diagnose_with_outputs(&circuit, &syndrome, &candidates)?;
+    println!("\ntop candidates (output-level matching):");
+    for c in refined.iter().take(5) {
+        println!(
+            "  {:<18} score {:.3}  (matched {}, missed {}, false alarms {})",
+            c.fault.describe(&circuit),
+            c.score(),
+            c.matched_failures,
+            c.missed_failures,
+            c.false_alarms
+        );
+    }
+    println!(
+        "\nsecret fault rank: pattern-level #{}, output-level #{} (0 = top)",
+        rank_of(&coarse, secret).expect("candidate present"),
+        rank_of(&refined, secret).expect("candidate present"),
+    );
+    let perfect = refined.iter().filter(|c| c.is_perfect()).count();
+    println!("{perfect} candidate(s) perfectly explain the syndrome (equivalence class of the defect)");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: compute the paper's headline comparison in a few lines.
+//!
+//! Builds the SOC1 parameter model (Table 1 of the paper), runs the TDV
+//! analysis at the paper's measured monolithic pattern count, and prints
+//! the table plus the headline ratios.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use modsoc::analysis::report::render_core_table;
+use modsoc::analysis::{SocTdvAnalysis, TdvOptions};
+use modsoc::soc::itc02;
+use modsoc::soc::{CoreSpec, Soc};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A SOC is just cores with (I, O, B, S, T) parameters plus the
+    //    embedding hierarchy. Build one by hand...
+    let mut soc = Soc::new("my_soc");
+    let a = soc.add_core(CoreSpec::leaf("dsp", 32, 32, 0, 1200, 310))?;
+    let b = soc.add_core(CoreSpec::leaf("uart", 12, 8, 0, 90, 45))?;
+    soc.add_core(CoreSpec::parent("top", 64, 48, 0, 0, 3, vec![a, b]))?;
+
+    let analysis = SocTdvAnalysis::compute(&soc, &TdvOptions::default())?;
+    println!("== hand-built SOC ==");
+    println!("{}", render_core_table(&soc, &analysis));
+
+    // 2. ...or use the embedded benchmark data from the paper.
+    let soc1 = itc02::soc1();
+    let analysis = SocTdvAnalysis::compute_with_measured_tmono(
+        &soc1,
+        &TdvOptions::tables_1_2(),
+        itc02::SOC1_MEASURED_TMONO,
+    )?;
+    println!("== SOC1 (paper Table 1) ==");
+    println!("{}", render_core_table(&soc1, &analysis));
+    println!(
+        "modular testing moves {} bits instead of {} — a {:.2}x reduction",
+        analysis.modular().total(),
+        analysis.monolithic().total(),
+        analysis.reduction_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Wrapper/TAM design on the p34392 cores: the infrastructure layer the
+//! paper's analysis deliberately abstracts away, made concrete.
+//!
+//! Shows wrapper chain balancing, the three classic TAM architectures,
+//! and how idle (padding) bits — excluded from the paper's useful-bit
+//! accounting — depend on the architecture.
+//!
+//! Run with: `cargo run --example wrapper_tam_design`
+
+use modsoc::soc::itc02;
+use modsoc::tam::schedule::{schedule, schedule_rectangles};
+use modsoc::tam::wrapper::{design_wrapper, WrapperCore};
+use modsoc::tam::{soc_test_time, TamArchitecture};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = itc02::p34392();
+    // Wrapper view: split each core's scan cells into 8 internal chains.
+    let cores: Vec<WrapperCore> = soc
+        .iter()
+        .filter(|(_, c)| c.patterns > 0)
+        .map(|(_, c)| WrapperCore::from_core_spec(c, 8))
+        .collect();
+
+    // Wrapper design for the biggest core at a few widths.
+    let big = cores.iter().max_by_key(|c| c.total_cells()).expect("cores");
+    println!("wrapper design for `{}` ({} cells):", big.name, big.total_cells());
+    println!("{:>6} {:>10} {:>10} {:>12} {:>12}", "width", "scan-in", "scan-out", "test time", "idle/pat");
+    for w in [1, 2, 4, 8, 16] {
+        let d = design_wrapper(big, w);
+        println!(
+            "{w:>6} {:>10} {:>10} {:>12} {:>12}",
+            d.max_scan_in(),
+            d.max_scan_out(),
+            d.test_time_self(),
+            d.idle_bits_per_pattern()
+        );
+    }
+
+    // TAM architectures at width 32.
+    println!("\nSOC test time at TAM width 32:");
+    for arch in [
+        TamArchitecture::Multiplexing,
+        TamArchitecture::Daisychain,
+        TamArchitecture::Distribution,
+    ] {
+        let eval = soc_test_time(arch, &cores, 32)?;
+        let sched = schedule(arch, &cores, 32)?;
+        println!(
+            "  {:?}: {} cycles, TAM utilization {:.1}%",
+            arch,
+            eval.total_time,
+            sched.utilization() * 100.0
+        );
+    }
+
+    // Flexible rectangle scheduling beats the rigid architectures.
+    let rect = schedule_rectangles(&cores, 32)?;
+    println!(
+        "  Rectangles: {} cycles, TAM utilization {:.1}%",
+        rect.makespan(),
+        rect.utilization() * 100.0
+    );
+    println!("\nschedule Gantt (width 32):");
+    print!("{}", rect.render_gantt(60));
+
+    // Joint TDV + time: the paper analyses data volume; this closes the
+    // loop on its intro claim that modularity helps test time too.
+    use modsoc::analysis::tdv::TdvOptions;
+    use modsoc::analysis::timecost::time_cost;
+    println!("\njoint data-volume / test-time view (p34392):");
+    println!("{:>6} {:>14} {:>14} {:>7}", "width", "modular cyc", "monolith cyc", "ratio");
+    for width in [8usize, 16, 32, 64] {
+        let tc = time_cost(&soc, &TdvOptions::tables_3_4(), None, width, 8)?;
+        println!(
+            "{width:>6} {:>14} {:>14} {:>6.2}x",
+            tc.modular_time,
+            tc.monolithic_time,
+            tc.time_reduction_ratio()
+        );
+    }
+    println!("(data volume is TAM-independent — the paper's scoping — but time is not)");
+    Ok(())
+}

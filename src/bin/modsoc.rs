@@ -1,0 +1,302 @@
+//! The `modsoc` command-line tool.
+//!
+//! ```text
+//! modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F]
+//! modsoc atpg <file.bench> [--dynamic] [--patterns-out FILE] [--verilog-out FILE]
+//! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
+//! modsoc cones <file.bench>
+//! modsoc tdf <file.bench>
+//! modsoc demo <soc1|soc2|p34392|table4>
+//! ```
+//!
+//! Arguments are deliberately hand-parsed — the workspace's dependency
+//! policy keeps the tree to the approved offline crates.
+
+use std::process::ExitCode;
+
+use modsoc::analysis::report::{fmt_u64, render_core_table, render_survey};
+use modsoc::analysis::{SocTdvAnalysis, TdvOptions};
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::circuitgen::{generate, CoreProfile};
+use modsoc::netlist::bench_format::{parse_bench, write_bench};
+use modsoc::netlist::cone::extract_cones;
+use modsoc::netlist::verilog::{dff_module, write_verilog};
+use modsoc::netlist::CircuitStats;
+use modsoc::soc::format::parse_soc;
+use modsoc::soc::itc02;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F]
+  modsoc atpg <file.bench> [--dynamic] [--patterns-out FILE] [--verilog-out FILE]
+  modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
+  modsoc cones <file.bench>
+  modsoc tdf <file.bench>
+  modsoc demo <soc1|soc2|p34392|table4>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("atpg") => cmd_atpg(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("cones") => cmd_cones(&args[1..]),
+        Some("tdf") => cmd_tdf(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("a subcommand is required".into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    // First arg that is not a flag and not a flag's value.
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = !matches!(
+                a.as_str(),
+                "--dynamic" | "--exclude-chip-pins"
+            );
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{what} is not a valid number: `{s}`"))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("analyze needs a .soc file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let soc = parse_soc(&text).map_err(|e| e.to_string())?;
+    let mut options = if has_flag(args, "--exclude-chip-pins") {
+        TdvOptions::tables_1_2()
+    } else {
+        TdvOptions::tables_3_4()
+    };
+    if let Some(r) = flag_value(args, "--reuse") {
+        let r: f64 = parse_num(r, "--reuse")?;
+        if !(0.0..=1.0).contains(&r) {
+            return Err("--reuse must be between 0 and 1".into());
+        }
+        options = options.with_functional_reuse(r);
+    }
+    let analysis = match flag_value(args, "--measured-tmono") {
+        Some(t) => {
+            let t: u64 = parse_num(t, "--measured-tmono")?;
+            SocTdvAnalysis::compute_with_measured_tmono(&soc, &options, t)
+                .map_err(|e| e.to_string())?
+        }
+        None => SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?,
+    };
+    println!("{soc}");
+    println!("{}", render_core_table(&soc, &analysis));
+    println!(
+        "modular change vs optimistic monolithic: {:+.1}%",
+        analysis.modular_change_pct()
+    );
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("atpg needs a .bench file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    let circuit = parse_bench(name, &text).map_err(|e| e.to_string())?;
+    println!("{}", CircuitStats::of(&circuit).map_err(|e| e.to_string())?);
+
+    let options = AtpgOptions {
+        dynamic_compaction: has_flag(args, "--dynamic"),
+        ..AtpgOptions::default()
+    };
+    let result = Atpg::new(options).run(&circuit).map_err(|e| e.to_string())?;
+    println!(
+        "{} patterns, {:.2}% fault coverage ({} classes: {} detected, {} redundant, {} aborted)",
+        result.pattern_count(),
+        result.fault_coverage() * 100.0,
+        result.stats.collapsed_faults,
+        result.stats.detected,
+        result.stats.redundant,
+        result.stats.aborted
+    );
+    if let Some(out) = flag_value(args, "--patterns-out") {
+        std::fs::write(out, result.patterns.to_text())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote patterns to {out}");
+    }
+    if let Some(out) = flag_value(args, "--verilog-out") {
+        let mut v = write_verilog(&circuit).map_err(|e| e.to_string())?;
+        if circuit.dff_count() > 0 {
+            v.push('\n');
+            v.push_str(dff_module());
+        }
+        std::fs::write(out, v).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote verilog to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let inputs: usize = parse_num(
+        flag_value(args, "--inputs").ok_or("--inputs is required")?,
+        "--inputs",
+    )?;
+    let outputs: usize = parse_num(
+        flag_value(args, "--outputs").ok_or("--outputs is required")?,
+        "--outputs",
+    )?;
+    let scan: usize = parse_num(
+        flag_value(args, "--scan").ok_or("--scan is required")?,
+        "--scan",
+    )?;
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => parse_num(s, "--seed")?,
+        None => 1,
+    };
+    let profile = CoreProfile::new("generated", inputs, outputs, scan).with_seed(seed);
+    let circuit = generate(&profile).map_err(|e| e.to_string())?;
+    println!("{}", CircuitStats::of(&circuit).map_err(|e| e.to_string())?);
+    if let Some(out) = flag_value(args, "--bench-out") {
+        std::fs::write(out, write_bench(&circuit)).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote bench to {out}");
+    }
+    if let Some(out) = flag_value(args, "--verilog-out") {
+        let mut v = write_verilog(&circuit).map_err(|e| e.to_string())?;
+        if circuit.dff_count() > 0 {
+            v.push('\n');
+            v.push_str(dff_module());
+        }
+        std::fs::write(out, v).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote verilog to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_cones(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("cones needs a .bench file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let circuit = parse_bench("c", &text).map_err(|e| e.to_string())?;
+    let model = if circuit.is_combinational() {
+        circuit
+    } else {
+        circuit.to_test_model().map_err(|e| e.to_string())?.circuit
+    };
+    let cones = extract_cones(&model).map_err(|e| e.to_string())?;
+    println!(
+        "{} cones | widths: min {} max {} mean {:.1} | overlapping pairs {} | overlap fraction {:.3}",
+        cones.cones().len(),
+        cones.cones().iter().map(|c| c.width()).min().unwrap_or(0),
+        cones.max_width(),
+        cones.mean_width(),
+        cones.overlapping_pairs(),
+        cones.overlap_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_tdf(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("tdf needs a .bench file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let circuit = parse_bench("circuit", &text).map_err(|e| e.to_string())?;
+    let result = modsoc::atpg::tdf::run_tdf_atpg(&circuit, 400).map_err(|e| e.to_string())?;
+    println!(
+        "transition faults: {} total, {} detected, {} LOC-untestable, {} aborted",
+        result.total, result.detected, result.untestable, result.aborted
+    );
+    println!(
+        "{} launch-on-capture patterns, {:.2}% coverage over LOC-testable faults",
+        result.patterns.len(),
+        result.coverage() * 100.0
+    );
+    if let Some(out) = flag_value(args, "--patterns-out") {
+        std::fs::write(out, result.patterns.to_text())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote patterns to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    match positional(args) {
+        Some("soc1") => {
+            let soc = itc02::soc1();
+            let a = SocTdvAnalysis::compute_with_measured_tmono(
+                &soc,
+                &TdvOptions::tables_1_2(),
+                itc02::SOC1_MEASURED_TMONO,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{}", render_core_table(&soc, &a));
+        }
+        Some("soc2") => {
+            let soc = itc02::soc2();
+            let a = SocTdvAnalysis::compute_with_measured_tmono(
+                &soc,
+                &TdvOptions::tables_1_2(),
+                itc02::SOC2_MEASURED_TMONO,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{}", render_core_table(&soc, &a));
+        }
+        Some("p34392") => {
+            let soc = itc02::p34392();
+            let a = SocTdvAnalysis::compute(&soc, &TdvOptions::tables_3_4())
+                .map_err(|e| e.to_string())?;
+            println!("{}", render_core_table(&soc, &a));
+            println!("modular TDV: {}", fmt_u64(a.modular().total()));
+        }
+        Some("table4") => {
+            let opts = TdvOptions::tables_3_4();
+            let mut analyses = Vec::new();
+            for row in itc02::table4() {
+                let soc = if row.name == "p34392" {
+                    itc02::p34392()
+                } else {
+                    modsoc::analysis::reconstruct::reconstruct_table4(row)
+                        .map_err(|e| e.to_string())?
+                };
+                analyses.push(SocTdvAnalysis::compute(&soc, &opts).map_err(|e| e.to_string())?);
+            }
+            println!("{}", render_survey(&analyses));
+        }
+        other => {
+            return Err(format!(
+                "demo needs one of soc1|soc2|p34392|table4, got {other:?}"
+            ))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Integration: ATPG soundness on randomly generated circuits.
+//!
+//! Property: every fault the engine reports as detected really is
+//! detected by the shipped (filled) pattern set under independent
+//! simulation, and every pattern set is deterministic per seed.
+
+use proptest::prelude::*;
+
+use modsoc::atpg::fault::FaultStatus;
+use modsoc::atpg::fault_sim::FaultSimulator;
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::circuitgen::{generate, CoreProfile};
+
+proptest! {
+    // ATPG per case is milliseconds on these sizes; keep the case count
+    // modest so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn detected_faults_are_really_detected(
+        seed in 0u64..1000,
+        inputs in 4usize..12,
+        outputs in 2usize..6,
+        ffs in 0usize..8,
+    ) {
+        let profile = CoreProfile::new("rand", inputs, outputs, ffs).with_seed(seed);
+        let circuit = generate(&profile).expect("generates");
+        let result = Atpg::new(AtpgOptions::default()).run(&circuit).expect("atpg");
+        let model = match &result.test_model {
+            Some(m) => m.circuit.clone(),
+            None => circuit.clone(),
+        };
+        let filled = result.patterns.fill_all(result.fill);
+        let mut fsim = FaultSimulator::new(&model).expect("fsim");
+        let faults: Vec<_> = result.fault_statuses.iter().map(|(f, _)| *f).collect();
+        let mut detected = vec![false; faults.len()];
+        for chunk in filled.chunks(64) {
+            for (i, m) in fsim.detection_masks(chunk, &faults).expect("sim").iter().enumerate() {
+                if *m != 0 {
+                    detected[i] = true;
+                }
+            }
+        }
+        for (i, (fault, status)) in result.fault_statuses.iter().enumerate() {
+            if *status == FaultStatus::Detected {
+                prop_assert!(
+                    detected[i],
+                    "fault {} claimed detected but is not",
+                    fault.describe(&model)
+                );
+            }
+            if *status == FaultStatus::Redundant {
+                prop_assert!(
+                    !detected[i],
+                    "fault {} claimed redundant but a pattern detects it",
+                    fault.describe(&model)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_high_on_generated_circuits(seed in 0u64..1000) {
+        let profile = CoreProfile::new("cov", 10, 4, 6).with_seed(seed);
+        let circuit = generate(&profile).expect("generates");
+        let result = Atpg::new(AtpgOptions::default()).run(&circuit).expect("atpg");
+        prop_assert!(
+            result.fault_coverage() > 0.9,
+            "coverage {} too low",
+            result.fault_coverage()
+        );
+        prop_assert_eq!(result.stats.aborted, 0, "no aborts expected at this size");
+    }
+}

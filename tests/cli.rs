@@ -1,0 +1,107 @@
+//! Integration tests for the `modsoc` CLI binary.
+
+use std::process::Command;
+
+fn modsoc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_modsoc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = modsoc(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_rejected() {
+    let out = modsoc(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn demo_soc1_prints_paper_numbers() {
+    let out = modsoc(&["demo", "soc1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("45,183"), "{text}");
+    assert!(text.contains("129,816"));
+}
+
+#[test]
+fn demo_table4_prints_all_socs() {
+    let out = modsoc(&["demo", "table4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for soc in ["d695", "g12710", "a586710", "p34392"] {
+        assert!(text.contains(soc), "{soc} missing");
+    }
+}
+
+#[test]
+fn generate_atpg_analyze_pipeline() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bench = dir.join("core.bench");
+    let patterns = dir.join("core.pat");
+    let verilog = dir.join("core.v");
+
+    // generate
+    let out = modsoc(&[
+        "generate",
+        "--inputs", "6",
+        "--outputs", "3",
+        "--scan", "4",
+        "--seed", "11",
+        "--bench-out", bench.to_str().expect("utf8 path"),
+        "--verilog-out", verilog.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(bench.exists() && verilog.exists());
+
+    // atpg over the generated bench
+    let out = modsoc(&[
+        "atpg",
+        bench.to_str().expect("utf8 path"),
+        "--dynamic",
+        "--patterns-out", patterns.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fault coverage"), "{text}");
+    let pat_text = std::fs::read_to_string(&patterns).expect("patterns written");
+    assert!(!pat_text.trim().is_empty());
+    // 6 PIs + 4 scan cells = width 10 lines.
+    assert!(pat_text.lines().all(|l| l.len() == 10), "{pat_text}");
+
+    // cones over the same bench
+    let out = modsoc(&["cones", bench.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cones"));
+
+    // analyze a .soc file
+    let soc_path = dir.join("t.soc");
+    std::fs::write(
+        &soc_path,
+        "soc demo\ncore top i=8 o=4 s=0 t=2 children=a\ncore a i=4 o=2 s=16 t=40\n",
+    )
+    .expect("write soc");
+    let out = modsoc(&["analyze", soc_path.to_str().expect("utf8 path"), "--reuse", "0.5"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("modular change"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_bad_flags() {
+    let out = modsoc(&["analyze", "/nonexistent.soc"]);
+    assert!(!out.status.success());
+    let out = modsoc(&["atpg", "/nonexistent.bench"]);
+    assert!(!out.status.success());
+}

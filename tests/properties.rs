@@ -1,0 +1,138 @@
+//! Cross-crate property-based tests (proptest).
+
+use proptest::prelude::*;
+
+use modsoc::analysis::tdv::{
+    benefit_exact, modular_tdv, monolithic_tdv, penalty, TdvOptions,
+};
+use modsoc::analysis::{SocTdvAnalysis};
+use modsoc::atpg::{Bit, TestCube};
+use modsoc::soc::format::{parse_soc, write_soc};
+use modsoc::soc::{CoreSpec, Soc};
+
+fn arb_core(name: String) -> impl Strategy<Value = CoreSpec> {
+    (0u64..200, 0u64..200, 0u64..20, 0u64..5000, 1u64..10_000).prop_map(
+        move |(i, o, b, s, t)| CoreSpec::leaf(name.clone(), i, o, b, s, t),
+    )
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    // 1..8 leaf cores under one top.
+    (1usize..8)
+        .prop_flat_map(|n| {
+            let cores: Vec<_> = (0..n).map(|i| arb_core(format!("c{i}"))).collect();
+            (cores, 0u64..100, 0u64..100, 0u64..10, 0u64..50)
+        })
+        .prop_map(|(cores, ti, to, tb, tt)| {
+            let mut soc = Soc::new("prop");
+            let mut children = Vec::new();
+            for c in cores {
+                children.push(soc.add_core(c).expect("leaf adds"));
+            }
+            soc.add_core(CoreSpec::parent("top", ti, to, tb, 0, tt, children))
+                .expect("top adds");
+            soc
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn eq6_balances_exactly_for_any_soc(soc in arb_soc()) {
+        for opts in [TdvOptions::tables_1_2(), TdvOptions::tables_3_4()] {
+            let t_mono = soc.max_core_patterns();
+            let mono = monolithic_tdv(&soc, t_mono).total();
+            let pen = penalty(&soc, &opts);
+            let ben = benefit_exact(&soc, t_mono, &opts);
+            let modular = modular_tdv(&soc, &opts).total();
+            prop_assert_eq!(mono + pen - ben, modular);
+        }
+    }
+
+    #[test]
+    fn volumes_scale_linearly_with_tmono(soc in arb_soc(), k in 1u64..5) {
+        let t = soc.max_core_patterns();
+        let v1 = monolithic_tdv(&soc, t).total();
+        let vk = monolithic_tdv(&soc, t * k).total();
+        prop_assert_eq!(vk, v1 * k);
+    }
+
+    #[test]
+    fn modular_tdv_at_least_scan_payload(soc in arb_soc()) {
+        // Every pattern must at least carry its core's scan bits.
+        let opts = TdvOptions::tables_1_2();
+        let floor: u64 = soc.iter().map(|(_, c)| c.patterns * 2 * c.scan_cells).sum();
+        prop_assert!(modular_tdv(&soc, &opts).total() >= floor);
+    }
+
+    #[test]
+    fn include_policy_never_cheaper(soc in arb_soc()) {
+        // Charging chip pins can only add bits.
+        let ex = modular_tdv(&soc, &TdvOptions::tables_1_2()).total();
+        let inc = modular_tdv(&soc, &TdvOptions::tables_3_4()).total();
+        prop_assert!(inc >= ex);
+    }
+
+    #[test]
+    fn analysis_matches_standalone_equations(soc in arb_soc()) {
+        let opts = TdvOptions::tables_3_4();
+        let a = SocTdvAnalysis::compute(&soc, &opts).expect("analysis");
+        prop_assert_eq!(a.modular().total(), modular_tdv(&soc, &opts).total());
+        prop_assert_eq!(a.penalty(), penalty(&soc, &opts));
+        let row_sum: u64 = a.rows().iter().map(|r| r.volume.total()).sum();
+        prop_assert_eq!(row_sum, a.modular().total());
+    }
+
+    #[test]
+    fn soc_format_round_trips(soc in arb_soc()) {
+        let text = write_soc(&soc);
+        let back = parse_soc(&text).expect("parses");
+        prop_assert_eq!(back.core_count(), soc.core_count());
+        for (_, c) in soc.iter() {
+            let id = back.find(&c.name).expect("core preserved");
+            let c2 = back.core(id);
+            prop_assert_eq!(
+                (c.inputs, c.outputs, c.bidirs, c.scan_cells, c.patterns),
+                (c2.inputs, c2.outputs, c2.bidirs, c2.scan_cells, c2.patterns)
+            );
+        }
+    }
+
+    #[test]
+    fn cube_merge_is_commutative_and_preserves_bits(
+        bits_a in proptest::collection::vec(0u8..3, 1..40),
+        bits_b in proptest::collection::vec(0u8..3, 1..40),
+    ) {
+        let n = bits_a.len().min(bits_b.len());
+        let to_cube = |bits: &[u8]| {
+            TestCube::from_bits(
+                bits.iter()
+                    .take(n)
+                    .map(|&b| match b {
+                        0 => Bit::Zero,
+                        1 => Bit::One,
+                        _ => Bit::X,
+                    })
+                    .collect(),
+            )
+        };
+        let a = to_cube(&bits_a);
+        let b = to_cube(&bits_b);
+        prop_assert_eq!(a.compatible(&b), b.compatible(&a));
+        if a.compatible(&b) {
+            let m1 = a.merged(&b);
+            let m2 = b.merged(&a);
+            prop_assert_eq!(&m1, &m2);
+            // Merging never unspecifies a bit.
+            for i in 0..n {
+                if a.bit(i) != Bit::X {
+                    prop_assert_eq!(m1.bit(i), a.bit(i));
+                }
+                if b.bit(i) != Bit::X {
+                    prop_assert_eq!(m1.bit(i), b.bit(i));
+                }
+            }
+        }
+    }
+}

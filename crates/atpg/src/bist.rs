@@ -48,7 +48,11 @@ impl Lfsr {
             assert!(t >= 1 && t <= width, "tap {t} outside 1..={width}");
             tap_mask |= 1 << (t - 1);
         }
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let mut state = seed & mask;
         if state == 0 {
             state = 1; // the all-zero state is the LFSR's fixed point
@@ -278,7 +282,11 @@ pub fn run_hybrid(
             break;
         }
         let targets: Vec<crate::fault::Fault> = undetected.iter().map(|&i| reps[i]).collect();
-        for (k, m) in fsim.detection_masks(&block, &targets)?.into_iter().enumerate() {
+        for (k, m) in fsim
+            .detection_masks(&block, &targets)?
+            .into_iter()
+            .enumerate()
+        {
             if m != 0 {
                 detected[undetected[k]] = true;
             }
@@ -296,9 +304,12 @@ pub fn run_hybrid(
             detected[i] = true;
             let filled = vec![cube.fill_keyed(crate::pattern::FillStrategy::default())];
             let undetected: Vec<usize> = (0..reps.len()).filter(|&j| !detected[j]).collect();
-            let targets: Vec<crate::fault::Fault> =
-                undetected.iter().map(|&j| reps[j]).collect();
-            for (k, m) in fsim.detection_masks(&filled, &targets)?.into_iter().enumerate() {
+            let targets: Vec<crate::fault::Fault> = undetected.iter().map(|&j| reps[j]).collect();
+            for (k, m) in fsim
+                .detection_masks(&filled, &targets)?
+                .into_iter()
+                .enumerate()
+            {
                 if m != 0 {
                     detected[undetected[k]] = true;
                 }

@@ -70,11 +70,7 @@ impl CollapsedFaults {
 #[must_use]
 pub fn collapse_faults(circuit: &Circuit) -> CollapsedFaults {
     let universe = enumerate_faults(circuit);
-    let index: HashMap<Fault, usize> = universe
-        .iter()
-        .enumerate()
-        .map(|(i, &f)| (f, i))
-        .collect();
+    let index: HashMap<Fault, usize> = universe.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut uf = UnionFind::new(universe.len());
     let fanouts = circuit.fanouts();
     let output_marks = {

@@ -177,7 +177,12 @@ mod tests {
         let mut s = TestSet::new(4);
         s.push(TestCube::from_bits(vec![Bit::One, Bit::X, Bit::X, Bit::X]));
         s.push(TestCube::from_bits(vec![Bit::X, Bit::Zero, Bit::X, Bit::X]));
-        s.push(TestCube::from_bits(vec![Bit::X, Bit::X, Bit::One, Bit::One]));
+        s.push(TestCube::from_bits(vec![
+            Bit::X,
+            Bit::X,
+            Bit::One,
+            Bit::One,
+        ]));
         let m = merge_compatible(&s);
         assert_eq!(m.len(), 1);
         assert_eq!(m.cubes()[0].specified_count(), 4);
@@ -243,7 +248,10 @@ g23 = NAND(g16, g19)
             let filled = compacted.fill_all(fill);
             fault_coverage(&c, &filled, &faults).unwrap()
         };
-        assert!(after >= before - 1e-12, "coverage preserved: {before} -> {after}");
+        assert!(
+            after >= before - 1e-12,
+            "coverage preserved: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl XorDecompressor {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(scan_inputs: usize, channels: usize, cycles: usize, seed: u64) -> XorDecompressor {
-        assert!(scan_inputs > 0 && channels > 0 && cycles > 0, "dimensions must be positive");
+        assert!(
+            scan_inputs > 0 && channels > 0 && cycles > 0,
+            "dimensions must be positive"
+        );
         let tester_bits = channels * cycles;
         // Simple xorshift for deterministic tap selection (self-contained
         // so the network is reproducible across rand versions).
@@ -375,7 +378,10 @@ mod tests {
             for k in 0..30usize {
                 let mut c = TestCube::all_x(64);
                 for j in 0..4 {
-                    c.set((k * 7 + j * 13) % 64, if j % 2 == 0 { Bit::One } else { Bit::Zero });
+                    c.set(
+                        (k * 7 + j * 13) % 64,
+                        if j % 2 == 0 { Bit::One } else { Bit::Zero },
+                    );
                 }
                 s.push(c);
             }
@@ -386,14 +392,24 @@ mod tests {
             for k in 0..30usize {
                 let mut c = TestCube::all_x(64);
                 for j in 0..40 {
-                    c.set((k + j) % 64, if (k + j) % 3 == 0 { Bit::One } else { Bit::Zero });
+                    c.set(
+                        (k + j) % 64,
+                        if (k + j) % 3 == 0 {
+                            Bit::One
+                        } else {
+                            Bit::Zero
+                        },
+                    );
                 }
                 s.push(c);
             }
             evaluate_compression(&s, &d).encode_rate()
         };
         assert!(sparse_rate > dense_rate, "{sparse_rate} vs {dense_rate}");
-        assert!(sparse_rate > 0.9, "sparse cubes nearly always encode: {sparse_rate}");
+        assert!(
+            sparse_rate > 0.9,
+            "sparse cubes nearly always encode: {sparse_rate}"
+        );
     }
 
     #[test]
@@ -442,7 +458,14 @@ mod tests {
             let mut c = TestCube::all_x(48);
             for j in 0..(4 + (seed as usize % 20)) {
                 let pos = (seed as usize * 17 + j * 29) % 48;
-                c.set(pos, if (seed as usize + j).is_multiple_of(2) { Bit::One } else { Bit::Zero });
+                c.set(
+                    pos,
+                    if (seed as usize + j).is_multiple_of(2) {
+                        Bit::One
+                    } else {
+                        Bit::Zero
+                    },
+                );
             }
             if let Some(word) = d.solve(&c) {
                 let expanded = d.expand(&word);

@@ -6,7 +6,6 @@
 //! classic dictionary-free diagnosis loop: re-simulate every candidate
 //! fault against the applied patterns and score the match.
 
-
 use modsoc_netlist::Circuit;
 
 use crate::error::AtpgError;

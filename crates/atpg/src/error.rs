@@ -29,7 +29,10 @@ impl fmt::Display for AtpgError {
         match self {
             AtpgError::Netlist(e) => write!(f, "netlist error: {e}"),
             AtpgError::PatternWidth { expected, got } => {
-                write!(f, "pattern width {got} does not match {expected} circuit inputs")
+                write!(
+                    f,
+                    "pattern width {got} does not match {expected} circuit inputs"
+                )
             }
             AtpgError::ForeignFault { fault } => {
                 write!(f, "fault {fault} does not belong to this circuit")
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = AtpgError::PatternWidth { expected: 3, got: 5 };
+        let e = AtpgError::PatternWidth {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains('3'));
         let e2: AtpgError = NetlistError::NoObservationPoints.into();
         assert!(e2.to_string().contains("netlist"));

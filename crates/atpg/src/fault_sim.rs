@@ -11,8 +11,14 @@ use std::collections::BinaryHeap;
 use modsoc_netlist::sim::Simulator;
 use modsoc_netlist::{Circuit, GateKind, NodeId};
 
+use crate::budget::{ExhaustReason, RunBudget};
 use crate::error::AtpgError;
 use crate::fault::{Fault, FaultSite};
+
+/// How many faults a budgeted sweep processes between budget polls
+/// (polling costs an `Instant::now()`; per-fault propagation is usually
+/// far cheaper, so polling every fault would dominate small cones).
+pub const BUDGET_POLL_STRIDE: usize = 256;
 
 /// A fault simulator bound to one combinational circuit.
 ///
@@ -152,7 +158,10 @@ impl<'a> FaultSimulator<'a> {
                 if good[site.index()] != stuck_word {
                     self.set_faulty(site, stuck_word);
                     for &fo in &self.fanouts[site.index()] {
-                        heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+                        heap.push(std::cmp::Reverse((
+                            self.topo_pos[fo.index()],
+                            fo.index() as u32,
+                        )));
                     }
                 }
             }
@@ -161,7 +170,10 @@ impl<'a> FaultSimulator<'a> {
                 if v != good[gate.index()] {
                     self.set_faulty(gate, v);
                     for &fo in &self.fanouts[gate.index()] {
-                        heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+                        heap.push(std::cmp::Reverse((
+                            self.topo_pos[fo.index()],
+                            fo.index() as u32,
+                        )));
                     }
                 }
             }
@@ -187,7 +199,10 @@ impl<'a> FaultSimulator<'a> {
             // events), so no special case needed here.
             self.set_faulty(id, v);
             for &fo in &self.fanouts[id.index()] {
-                heap.push(std::cmp::Reverse((self.topo_pos[fo.index()], fo.index() as u32)));
+                heap.push(std::cmp::Reverse((
+                    self.topo_pos[fo.index()],
+                    fo.index() as u32,
+                )));
             }
         }
     }
@@ -208,6 +223,36 @@ impl<'a> FaultSimulator<'a> {
             .iter()
             .map(|&f| self.detection_mask(&good, active, f))
             .collect())
+    }
+
+    /// [`FaultSimulator::detection_masks`] under a [`RunBudget`]: the
+    /// deadline/cancellation flags are polled every
+    /// [`BUDGET_POLL_STRIDE`] faults. On a trip the sweep stops early and
+    /// the reason is returned alongside the masks; unprocessed faults
+    /// keep an all-zero mask, which downstream fault dropping reads as
+    /// "not detected" — conservative, never unsound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern width errors.
+    pub fn detection_masks_budgeted(
+        &mut self,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+        budget: &RunBudget,
+    ) -> Result<(Vec<u64>, Option<ExhaustReason>), AtpgError> {
+        let (good, n) = self.good_values(patterns)?;
+        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut masks = vec![0u64; faults.len()];
+        for (i, &f) in faults.iter().enumerate() {
+            if i % BUDGET_POLL_STRIDE == 0 {
+                if let Some(reason) = budget.check() {
+                    return Ok((masks, Some(reason)));
+                }
+            }
+            masks[i] = self.detection_mask(&good, active, f);
+        }
+        Ok((masks, None))
     }
 
     fn value_of(&self, id: NodeId, good: &[u64]) -> u64 {
@@ -405,7 +450,10 @@ g23 = NAND(g16, g19)
     #[test]
     fn event_driven_matches_naive_on_c17_stems() {
         let c = c17();
-        let patterns = all_input_patterns(5).into_iter().take(32).collect::<Vec<_>>();
+        let patterns = all_input_patterns(5)
+            .into_iter()
+            .take(32)
+            .collect::<Vec<_>>();
         let mut fsim = FaultSimulator::new(&c).unwrap();
         for fault in enumerate_faults(&c) {
             if !matches!(fault.site, FaultSite::Stem(_)) {
@@ -423,7 +471,10 @@ g23 = NAND(g16, g19)
         let patterns = all_input_patterns(5);
         let faults = enumerate_faults(&c);
         let cov = fault_coverage(&c, &patterns, &faults).unwrap();
-        assert!((cov - 1.0).abs() < 1e-12, "c17 is fully testable, got {cov}");
+        assert!(
+            (cov - 1.0).abs() < 1e-12,
+            "c17 is fully testable, got {cov}"
+        );
     }
 
     #[test]
@@ -443,10 +494,16 @@ g23 = NAND(g16, g19)
         let mut fsim = FaultSimulator::new(&c).unwrap();
         let patterns = vec![vec![false, false]];
         let masks = fsim
-            .detection_masks(&patterns, &[Fault::pin(g2, 0, true), Fault::pin(g1, 0, true)])
+            .detection_masks(
+                &patterns,
+                &[Fault::pin(g2, 0, true), Fault::pin(g1, 0, true)],
+            )
             .unwrap();
         assert_eq!(masks[0], 0b1, "branch to OR detected by 00");
-        assert_eq!(masks[1], 0b0, "branch to AND not detected by 00 (b=0 blocks)");
+        assert_eq!(
+            masks[1], 0b0,
+            "branch to AND not detected by 00 (b=0 blocks)"
+        );
     }
 
     #[test]
@@ -470,7 +527,10 @@ g23 = NAND(g16, g19)
         let c = c17();
         let mut fsim = FaultSimulator::new(&c).unwrap();
         // 3 patterns: mask must fit in low 3 bits.
-        let patterns = all_input_patterns(5).into_iter().take(3).collect::<Vec<_>>();
+        let patterns = all_input_patterns(5)
+            .into_iter()
+            .take(3)
+            .collect::<Vec<_>>();
         let faults = enumerate_faults(&c);
         for m in fsim.detection_masks(&patterns, &faults).unwrap() {
             assert_eq!(m & !0b111, 0);
@@ -506,8 +566,7 @@ g23 = NAND(g16, g19)
             .detection_masks(&patterns[..32], &faults)
             .unwrap();
         for threads in [1, 2, 3, 8] {
-            let parallel =
-                detection_masks_threaded(&c, &patterns[..32], &faults, threads).unwrap();
+            let parallel = detection_masks_threaded(&c, &patterns[..32], &faults, threads).unwrap();
             assert_eq!(parallel, serial, "{threads} threads");
         }
     }
@@ -561,6 +620,12 @@ g23 = NAND(g16, g19)
         let c = c17();
         let mut fsim = FaultSimulator::new(&c).unwrap();
         let err = fsim.detection_masks(&[vec![true; 3]], &[]).unwrap_err();
-        assert!(matches!(err, AtpgError::PatternWidth { expected: 5, got: 3 }));
+        assert!(matches!(
+            err,
+            AtpgError::PatternWidth {
+                expected: 5,
+                got: 3
+            }
+        ));
     }
 }

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod bist;
+pub mod budget;
 pub mod collapse;
 pub mod compact;
 pub mod compress;
@@ -72,6 +73,7 @@ pub mod tdf;
 pub mod testability;
 pub mod value;
 
+pub use budget::{BudgetExhausted, ExhaustReason, RunBudget};
 pub use engine::{Atpg, AtpgOptions, AtpgResult, AtpgStats};
 pub use error::AtpgError;
 pub use fault::{Fault, FaultSite, FaultStatus};

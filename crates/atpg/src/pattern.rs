@@ -533,7 +533,11 @@ mod tests {
         t.push(c1);
         t.push(c2);
         let filled = t.fill_all(FillStrategy::Random { seed: 3 });
-        assert_ne!(filled[0][1..], filled[1][1..], "different content, different fill");
+        assert_ne!(
+            filled[0][1..],
+            filled[1][1..],
+            "different content, different fill"
+        );
     }
 
     #[test]
@@ -580,8 +584,18 @@ mod tests {
     #[test]
     fn text_round_trip() {
         let mut s = TestSet::new(4);
-        s.push(TestCube::from_bits(vec![Bit::One, Bit::X, Bit::Zero, Bit::X]));
-        s.push(TestCube::from_bits(vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]));
+        s.push(TestCube::from_bits(vec![
+            Bit::One,
+            Bit::X,
+            Bit::Zero,
+            Bit::X,
+        ]));
+        s.push(TestCube::from_bits(vec![
+            Bit::Zero,
+            Bit::Zero,
+            Bit::One,
+            Bit::One,
+        ]));
         let text = s.to_text();
         assert_eq!(text, "1X0X\n0011\n");
         let back = TestSet::from_text(&text).unwrap();

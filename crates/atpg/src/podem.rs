@@ -9,6 +9,7 @@
 
 use modsoc_netlist::{Circuit, GateKind, NodeId};
 
+use crate::budget::RunBudget;
 use crate::error::AtpgError;
 use crate::fault::{Fault, FaultSite};
 use crate::pattern::{Bit, TestCube};
@@ -74,6 +75,23 @@ impl<'a> Podem<'a> {
         self.generate_with_constraints(fault, &[])
     }
 
+    /// Generate a test for one stuck-at fault under an optional
+    /// [`RunBudget`]: each backtrack is charged against the budget's
+    /// global pool, and a tripped deadline/cancellation/backtrack limit
+    /// aborts the search ([`PodemOutcome::Aborted`]) so a single hard
+    /// fault cannot hold a bounded run hostage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Podem::generate`].
+    pub fn generate_budgeted(
+        &self,
+        fault: Fault,
+        budget: Option<&RunBudget>,
+    ) -> Result<PodemOutcome, AtpgError> {
+        self.generate_with_constraints_budgeted(fault, &[], budget)
+    }
+
     /// Generate a test for a stuck-at fault under side constraints: every
     /// `(node, value)` pair must hold in the good circuit of the final
     /// test. Used by the transition-fault flow (frame-1 initialization
@@ -88,6 +106,21 @@ impl<'a> Podem<'a> {
         fault: Fault,
         constraints: &[(NodeId, bool)],
     ) -> Result<PodemOutcome, AtpgError> {
+        self.generate_with_constraints_budgeted(fault, constraints, None)
+    }
+
+    /// [`Podem::generate_with_constraints`] under an optional
+    /// [`RunBudget`] (see [`Podem::generate_budgeted`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Podem::generate_with_constraints`].
+    pub fn generate_with_constraints_budgeted(
+        &self,
+        fault: Fault,
+        constraints: &[(NodeId, bool)],
+        budget: Option<&RunBudget>,
+    ) -> Result<PodemOutcome, AtpgError> {
         for (node, _) in constraints {
             if node.index() >= self.circuit.node_count() {
                 return Err(AtpgError::ForeignFault {
@@ -95,13 +128,14 @@ impl<'a> Podem<'a> {
                 });
             }
         }
-        self.run_search(fault, constraints)
+        self.run_search(fault, constraints, budget)
     }
 
     fn run_search(
         &self,
         fault: Fault,
         constraints: &[(NodeId, bool)],
+        budget: Option<&RunBudget>,
     ) -> Result<PodemOutcome, AtpgError> {
         let affected = fault.site.affected_gate();
         if affected.index() >= self.circuit.node_count() {
@@ -162,9 +196,8 @@ impl<'a> Podem<'a> {
                     Objective::Conflict => None,
                 }
             };
-            let decision = objective.and_then(|(node, value)| {
-                self.backtrace(node, value, &values, &assignment)
-            });
+            let decision = objective
+                .and_then(|(node, value)| self.backtrace(node, value, &values, &assignment));
 
             match decision {
                 Some((pi, v)) => {
@@ -181,6 +214,14 @@ impl<'a> Podem<'a> {
                                     backtracks += 1;
                                     if backtracks > self.backtrack_limit {
                                         return Ok(PodemOutcome::Aborted);
+                                    }
+                                    // Budget: every backtrack drains the
+                                    // run-wide pool; deadline/cancellation
+                                    // also end the search here.
+                                    if let Some(b) = budget {
+                                        if b.charge_backtrack().is_some() {
+                                            return Ok(PodemOutcome::Aborted);
+                                        }
                                     }
                                     assignment[pi] = Some(!v);
                                     stack.push((pi, !v, true));
@@ -210,8 +251,7 @@ impl<'a> Podem<'a> {
         // Stem fault on an input: inject immediately.
         if let FaultSite::Stem(site) = fault.site {
             if self.input_pos[site.index()].is_some() {
-                values[site.index()] =
-                    inject_stuck(values[site.index()], fault.stuck_at_one);
+                values[site.index()] = inject_stuck(values[site.index()], fault.stuck_at_one);
             }
         }
         let mut fanin_buf: Vec<V5> = Vec::with_capacity(8);
@@ -592,7 +632,10 @@ g23 = NAND(g16, g19)
         let p = Podem::new(&c, 1000).unwrap();
         for f in crate::collapse::collapse_faults(&c).representatives() {
             let out = p.generate(*f).unwrap();
-            assert!(matches!(out, PodemOutcome::Test(_)), "{f} should be testable");
+            assert!(
+                matches!(out, PodemOutcome::Test(_)),
+                "{f} should be testable"
+            );
         }
     }
 
@@ -622,8 +665,7 @@ y = OR(t3, t2)
                 };
                 if let PodemOutcome::Test(cube) = p.generate(f).unwrap() {
                     let filled = cube.fill(crate::pattern::FillStrategy::Zeros);
-                    let words: Vec<u64> =
-                        filled.iter().map(|&x| if x { 1 } else { 0 }).collect();
+                    let words: Vec<u64> = filled.iter().map(|&x| if x { 1 } else { 0 }).collect();
                     let good = sim.run_on(&c, &words);
                     let forced = if sa1 { u64::MAX } else { 0 };
                     let bad = sim.run_with_forced_node(&c, &words, id, forced);

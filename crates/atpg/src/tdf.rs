@@ -206,6 +206,9 @@ pub struct TdfResult {
     pub aborted: usize,
     /// Total faults targeted.
     pub total: usize,
+    /// `Some` when a [`RunBudget`](crate::budget::RunBudget) tripped and
+    /// the result is partial (untargeted faults count as undetected).
+    pub exhausted: Option<crate::budget::BudgetExhausted>,
 }
 
 impl TdfResult {
@@ -360,13 +363,41 @@ pub fn run_tdf_atpg_with_scheme(
         LaunchScheme::Capture => unroll_two_frames(&model)?,
         LaunchScheme::Shift => unroll_los(&model)?,
     };
-    run_tdf_over(&model, &two, backtrack_limit)
+    run_tdf_over(
+        &model,
+        &two,
+        backtrack_limit,
+        &crate::budget::RunBudget::unlimited(),
+    )
+}
+
+/// [`run_tdf_atpg_with_scheme`] under a [`RunBudget`]: the budget is
+/// polled between faults and charged per PODEM backtrack; on a trip the
+/// remaining faults stay untargeted and
+/// [`TdfResult::exhausted`] is set.
+///
+/// # Errors
+///
+/// Propagates netlist and test-generation errors.
+pub fn run_tdf_atpg_budgeted(
+    circuit: &Circuit,
+    backtrack_limit: u32,
+    scheme: LaunchScheme,
+    budget: &crate::budget::RunBudget,
+) -> Result<TdfResult, AtpgError> {
+    let model = circuit.to_test_model().map_err(AtpgError::from)?;
+    let two = match scheme {
+        LaunchScheme::Capture => unroll_two_frames(&model)?,
+        LaunchScheme::Shift => unroll_los(&model)?,
+    };
+    run_tdf_over(&model, &two, backtrack_limit, budget)
 }
 
 fn run_tdf_over(
     model: &TestModel,
     two: &TwoFrame,
     backtrack_limit: u32,
+    budget: &crate::budget::RunBudget,
 ) -> Result<TdfResult, AtpgError> {
     let faults = enumerate_transition_faults(&model.circuit);
     let podem = Podem::new(&two.circuit, backtrack_limit)?;
@@ -377,10 +408,15 @@ fn run_tdf_over(
     let mut detected_flags = vec![false; faults.len()];
     let mut untestable = 0usize;
     let mut aborted = 0usize;
+    let mut exhausted = None;
 
     for (i, tf) in faults.iter().enumerate() {
         if detected_flags[i] {
             continue;
+        }
+        if let Some(reason) = budget.check_with_patterns(patterns.len()) {
+            exhausted = Some(budget.exhausted(reason, "tdf", patterns.len()));
+            break;
         }
         let init = !tf.slow_to_rise; // frame-1 value before the transition
         let stuck = Fault {
@@ -388,7 +424,7 @@ fn run_tdf_over(
             stuck_at_one: init,
         };
         let constraint = (two.frame1[tf.site.index()], init);
-        match podem.generate_with_constraints(stuck, &[constraint])? {
+        match podem.generate_with_constraints_budgeted(stuck, &[constraint], Some(budget))? {
             PodemOutcome::Test(cube) => {
                 detected_flags[i] = true;
                 // Drop other TDFs detected by the filled pattern; the
@@ -415,6 +451,7 @@ fn run_tdf_over(
         untestable,
         aborted,
         total: faults.len(),
+        exhausted,
     })
 }
 

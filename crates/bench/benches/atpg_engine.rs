@@ -25,7 +25,10 @@ fn bench_atpg(c: &mut Criterion) {
         let patterns: Vec<Vec<bool>> = (0..64)
             .map(|k| (0..model.input_count()).map(|i| (i + k) % 3 == 0).collect())
             .collect();
-        b.iter(|| fsim.detection_masks(black_box(&patterns), &faults).expect("sims"))
+        b.iter(|| {
+            fsim.detection_masks(black_box(&patterns), &faults)
+                .expect("sims")
+        })
     });
 
     group.throughput(Throughput::Elements(1));
@@ -42,7 +45,8 @@ fn bench_atpg(c: &mut Criterion) {
     });
 
     group.bench_function("engine_full_run_small", |b| {
-        let small = generate(&CoreProfile::new("small", 12, 6, 10).with_seed(5)).expect("generates");
+        let small =
+            generate(&CoreProfile::new("small", 12, 6, 10).with_seed(5)).expect("generates");
         let engine = Atpg::new(AtpgOptions::default());
         b.iter(|| engine.run(black_box(&small)).expect("runs").pattern_count())
     });

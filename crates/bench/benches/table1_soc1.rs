@@ -35,7 +35,10 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0usize;
             for core in netlist.cores() {
-                total += engine.run(black_box(core)).expect("atpg runs").pattern_count();
+                total += engine
+                    .run(black_box(core))
+                    .expect("atpg runs")
+                    .pattern_count();
             }
             total
         })
@@ -43,7 +46,12 @@ fn bench_table1(c: &mut Criterion) {
 
     let flat = netlist.flatten().expect("flattens");
     group.bench_function("live_monolithic_atpg", |b| {
-        b.iter(|| engine.run(black_box(&flat)).expect("atpg runs").pattern_count())
+        b.iter(|| {
+            engine
+                .run(black_box(&flat))
+                .expect("atpg runs")
+                .pattern_count()
+        })
     });
     group.finish();
 }

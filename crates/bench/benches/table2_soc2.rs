@@ -32,12 +32,22 @@ fn bench_table2(c: &mut Criterion) {
     let small = generate(&iscas::s953(1)).expect("generates");
     group.sample_size(10);
     group.bench_function("atpg_s953_lookalike", |b| {
-        b.iter(|| engine.run(black_box(&small)).expect("atpg runs").pattern_count())
+        b.iter(|| {
+            engine
+                .run(black_box(&small))
+                .expect("atpg runs")
+                .pattern_count()
+        })
     });
 
     let large = generate(&iscas::s5378(1)).expect("generates");
     group.bench_function("atpg_s5378_lookalike", |b| {
-        b.iter(|| engine.run(black_box(&large)).expect("atpg runs").pattern_count())
+        b.iter(|| {
+            engine
+                .run(black_box(&large))
+                .expect("atpg runs")
+                .pattern_count()
+        })
     });
     group.finish();
 }

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(more variation -> larger reduction; the Table 4 correlation, controlled)\n");
 
     println!("== Ablation 2: terminal richness vs wrapper penalty (g12710 regime) ==");
-    println!("{:>9} {:>10} {:>10} {:>10}", "io/core", "penalty %", "benefit %", "modular %");
+    println!(
+        "{:>9} {:>10} {:>10} {:>10}",
+        "io/core", "penalty %", "benefit %", "modular %"
+    );
     let mut crossed = false;
     for io in [16u64, 64, 256, 1024, 4096, 16384] {
         let soc = build_soc("io", 0.3, io);
@@ -77,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== Ablation 3: functional-register isolation (the paper's noted pessimism) ==");
-    println!("{:>7} {:>12} {:>10} {:>10}", "reuse", "penalty", "penalty %", "modular %");
+    println!(
+        "{:>7} {:>12} {:>10} {:>10}",
+        "reuse", "penalty", "penalty %", "modular %"
+    );
     {
         let soc = modsoc_soc::itc02::p34392();
         for reuse in [0.0, 0.25, 0.5, 0.75, 1.0] {
@@ -95,11 +101,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Ablation 4: chip-pin policy ==");
     for (soc, t_mono) in [
-        (modsoc_soc::itc02::soc1(), modsoc_soc::itc02::SOC1_MEASURED_TMONO),
-        (modsoc_soc::itc02::soc2(), modsoc_soc::itc02::SOC2_MEASURED_TMONO),
+        (
+            modsoc_soc::itc02::soc1(),
+            modsoc_soc::itc02::SOC1_MEASURED_TMONO,
+        ),
+        (
+            modsoc_soc::itc02::soc2(),
+            modsoc_soc::itc02::SOC2_MEASURED_TMONO,
+        ),
     ] {
-        let ex = SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_1_2(), t_mono)?;
-        let inc = SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_3_4(), t_mono)?;
+        let ex =
+            SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_1_2(), t_mono)?;
+        let inc =
+            SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_3_4(), t_mono)?;
         println!(
             "{}: modular TDV exclude={} include={} (ratio {:.2} vs {:.2})",
             soc.name(),

@@ -8,11 +8,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use modsoc_circuitgen::SocNetlist;
 use modsoc_core::analysis::SocTdvAnalysis;
 use modsoc_core::experiment::{run_soc_experiment, ExperimentOptions, SocExperiment};
 use modsoc_core::tdv::TdvOptions;
 use modsoc_core::AnalysisError;
-use modsoc_circuitgen::SocNetlist;
 
 /// Percent difference of `ours` versus `paper`.
 #[must_use]

@@ -5,10 +5,7 @@
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) -> String {
-    let out = Command::new(bin)
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(bin).args(args).output().expect("binary runs");
     assert!(
         out.status.success(),
         "{bin} failed: {}",
@@ -53,7 +50,10 @@ fn table1_paper_only_mode() {
     let text = run(env!("CARGO_BIN_EXE_table1_soc1"), &["--paper-only"]);
     assert!(text.contains("45,183"));
     assert!(text.contains("129,816"));
-    assert!(!text.contains("live regeneration"), "--paper-only must skip ATPG");
+    assert!(
+        !text.contains("live regeneration"),
+        "--paper-only must skip ATPG"
+    );
 }
 
 #[test]

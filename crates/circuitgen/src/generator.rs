@@ -70,7 +70,14 @@ pub fn generate(profile: &CoreProfile) -> Result<Circuit, NetlistError> {
         } else {
             rng.gen_range(min_w..=max_w)
         };
-        let support = sample_support(&mut rng, cone, cone_count, n_sources, width, profile.overlap);
+        let support = sample_support(
+            &mut rng,
+            cone,
+            cone_count,
+            n_sources,
+            width,
+            profile.overlap,
+        );
         for &s in &support {
             used[s] = true;
         }
@@ -190,7 +197,11 @@ fn build_cone_tree(
                 next.push(layer[i]);
                 break;
             }
-            let fanin_n = if remaining >= 3 && rng.gen_bool(0.3) { 3 } else { 2 };
+            let fanin_n = if remaining >= 3 && rng.gen_bool(0.3) {
+                3
+            } else {
+                2
+            };
             let fanin = &layer[i..i + fanin_n];
             let kind = pick_gate_kind(rng, xor_frac);
             let mut g = c.add_gate(format!("g{}", bump(gate_counter)), kind, fanin)?;

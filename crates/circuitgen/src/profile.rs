@@ -40,7 +40,12 @@ pub struct CoreProfile {
 impl CoreProfile {
     /// A balanced default profile with the given exact interface.
     #[must_use]
-    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, scan_cells: usize) -> CoreProfile {
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        scan_cells: usize,
+    ) -> CoreProfile {
         CoreProfile {
             name: name.into(),
             inputs,
@@ -222,7 +227,11 @@ mod tests {
         use modsoc_atpg::{Atpg, AtpgOptions};
         let r = Atpg::new(AtpgOptions::default()).run(&s27()).unwrap();
         // s27's full-scan stuck-at fault set is fully testable.
-        assert!((r.fault_coverage() - 1.0).abs() < 1e-12, "{}", r.fault_coverage());
+        assert!(
+            (r.fault_coverage() - 1.0).abs() < 1e-12,
+            "{}",
+            r.fault_coverage()
+        );
         assert!(r.pattern_count() <= 12, "{} patterns", r.pattern_count());
     }
 

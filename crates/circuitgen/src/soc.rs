@@ -253,7 +253,12 @@ impl SocNetlistBuilder {
     ///
     /// Returns [`NetlistError::PortMismatch`] for out-of-range indices or
     /// double-driven ports.
-    pub fn wire(&mut self, core: usize, port: usize, source: PortSource) -> Result<(), NetlistError> {
+    pub fn wire(
+        &mut self,
+        core: usize,
+        port: usize,
+        source: PortSource,
+    ) -> Result<(), NetlistError> {
         self.check_source(source)?;
         let slot = self
             .input_wiring
@@ -351,9 +356,12 @@ impl SocNetlistBuilder {
                 message: format!("chip input {k} out of range ({} inputs)", self.chip_inputs),
             }),
             PortSource::CoreOutput { core, output } => {
-                let c = self.cores.get(core).ok_or_else(|| NetlistError::PortMismatch {
-                    message: format!("no core {core}"),
-                })?;
+                let c = self
+                    .cores
+                    .get(core)
+                    .ok_or_else(|| NetlistError::PortMismatch {
+                        message: format!("no core {core}"),
+                    })?;
                 if output >= c.output_count() {
                     return Err(NetlistError::PortMismatch {
                         message: format!("core {core} has no output {output}"),
@@ -437,8 +445,14 @@ pub fn soc2(seed: u64) -> Result<SocNetlist, NetlistError> {
     let mut b = SocNetlist::builder("SOC2", 14);
     let c1 = b.add_core(generate(&named(iscas::s953(seed ^ 0x11), "core1_s953"))?);
     let c2 = b.add_core(generate(&named(iscas::s5378(seed ^ 0x12), "core2_s5378"))?);
-    let c3 = b.add_core(generate(&named(iscas::s13207(seed ^ 0x13), "core3_s13207"))?);
-    let c4 = b.add_core(generate(&named(iscas::s15850(seed ^ 0x14), "core4_s15850"))?);
+    let c3 = b.add_core(generate(&named(
+        iscas::s13207(seed ^ 0x13),
+        "core3_s13207",
+    ))?);
+    let c4 = b.add_core(generate(&named(
+        iscas::s15850(seed ^ 0x14),
+        "core4_s15850",
+    ))?);
     b.wire_chip_range(c4, 0, 0, 14)?;
     b.wire_core_range(c3, 0, c4, 0, 31)?;
     b.wire_core_range(c2, 0, c4, 31, 35)?;
@@ -475,7 +489,6 @@ pub fn mini_soc(seed: u64) -> Result<SocNetlist, NetlistError> {
     b.chip_output_range(ca, 0, 2)?;
     b.build()
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -527,10 +540,7 @@ mod tests {
         let ci = b.add_core(core);
         b.wire(ci, 0, PortSource::ChipInput(0)).unwrap();
         // ports 1, 2 unwired
-        assert!(matches!(
-            b.build(),
-            Err(NetlistError::PortMismatch { .. })
-        ));
+        assert!(matches!(b.build(), Err(NetlistError::PortMismatch { .. })));
     }
 
     #[test]
@@ -561,8 +571,24 @@ mod tests {
         let core2 = generate(&CoreProfile::new("c2", 1, 1, 0).with_seed(2)).unwrap();
         let i1 = b.add_core(core1);
         let i2 = b.add_core(core2);
-        b.wire(i1, 0, PortSource::CoreOutput { core: i2, output: 0 }).unwrap();
-        b.wire(i2, 0, PortSource::CoreOutput { core: i1, output: 0 }).unwrap();
+        b.wire(
+            i1,
+            0,
+            PortSource::CoreOutput {
+                core: i2,
+                output: 0,
+            },
+        )
+        .unwrap();
+        b.wire(
+            i2,
+            0,
+            PortSource::CoreOutput {
+                core: i1,
+                output: 0,
+            },
+        )
+        .unwrap();
         b.chip_output(i1, 0).unwrap();
         let soc = b.build().unwrap();
         assert!(matches!(

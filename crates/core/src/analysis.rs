@@ -328,7 +328,11 @@ mod tests {
         // Percentages: benefit −95.5%, modular −86.0%... the paper's
         // modular_pct inherits its penalty decimal typo; the true value
         // is −94.5%.
-        assert!((a.benefit_pct() - row.benefit_pct).abs() < 0.06, "{}", a.benefit_pct());
+        assert!(
+            (a.benefit_pct() - row.benefit_pct).abs() < 0.06,
+            "{}",
+            a.benefit_pct()
+        );
         assert!((a.modular_change_pct() + 94.54).abs() < 0.05);
         assert!((a.penalty_pct() - 0.9548).abs() < 0.01);
     }
@@ -336,10 +340,12 @@ mod tests {
     #[test]
     fn tmono_below_bound_rejected() {
         let soc = itc02::soc1();
-        let err =
-            SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_1_2(), 3)
-                .unwrap_err();
-        assert!(matches!(err, AnalysisError::TmonoBelowBound { max_core: 85, .. }));
+        let err = SocTdvAnalysis::compute_with_measured_tmono(&soc, &TdvOptions::tables_1_2(), 3)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::TmonoBelowBound { max_core: 85, .. }
+        ));
     }
 
     #[test]

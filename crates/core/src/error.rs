@@ -76,7 +76,10 @@ mod tests {
         let e: AnalysisError = modsoc_soc::SocError::Empty.into();
         assert!(e.to_string().contains("soc"));
         assert!(e.source().is_some());
-        let e = AnalysisError::TmonoBelowBound { t_mono: 3, max_core: 10 };
+        let e = AnalysisError::TmonoBelowBound {
+            t_mono: 3,
+            max_core: 10,
+        };
         assert!(e.to_string().contains("equation 2"));
         assert!(e.source().is_none());
     }

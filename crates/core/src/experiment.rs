@@ -13,6 +13,7 @@ use modsoc_soc::{CoreSpec, Soc};
 
 use crate::analysis::SocTdvAnalysis;
 use crate::error::AnalysisError;
+use crate::runctl::{guard_result, Completion, CoreOutcome, CoreOutcomeKind, RunBudget};
 use crate::tdv::TdvOptions;
 
 /// Options for a netlist-backed experiment.
@@ -135,6 +136,150 @@ pub fn run_soc_experiment(
         t_mono: t_mono_raw,
         mono_coverage: mono.fault_coverage(),
         eq2_strict,
+    })
+}
+
+/// Run the modular-vs-monolithic experiment under a [`RunBudget`] with
+/// per-core panic isolation.
+///
+/// Each core's ATPG runs guarded: a panic or typed error in one core
+/// becomes a [`CoreOutcome`] diagnostic while the remaining cores still
+/// produce their rows; a tripped budget yields each core's partial
+/// pattern set. The flattened monolithic run is guarded the same way
+/// (pseudo-core `"<monolithic>"`) — when it fails, the accounting falls
+/// back to the Equation 2 optimistic bound `T_mono = max_i T_i`.
+///
+/// # Errors
+///
+/// Errors only when *nothing* analyzable remains: every core failed, or
+/// the assembled SOC model itself is invalid. Individual core failures
+/// and budget exhaustion are reported in the [`Completion`], not as
+/// errors.
+pub fn run_soc_experiment_guarded(
+    netlist: &SocNetlist,
+    options: &ExperimentOptions,
+    budget: &RunBudget,
+) -> Result<Completion<SocExperiment>, AnalysisError> {
+    let engine = Atpg::new(options.atpg.clone());
+    let mut exhausted = None;
+    let mut outcomes: Vec<CoreOutcome> = Vec::new();
+
+    // Modular phase: every core stand-alone, each isolated.
+    let mut soc = Soc::new(netlist.name());
+    let mut cores = Vec::with_capacity(netlist.cores().len());
+    let mut children = Vec::with_capacity(netlist.cores().len());
+    for circuit in netlist.cores() {
+        let name = circuit.name().to_string();
+        match guard_result(|| engine.run_budgeted(circuit, budget)) {
+            Ok(result) => {
+                let patterns = result.pattern_count() as u64;
+                let kind = match &result.exhausted {
+                    Some(e) => {
+                        if exhausted.is_none() {
+                            exhausted = Some(e.clone());
+                        }
+                        CoreOutcomeKind::Partial(e.clone())
+                    }
+                    None => CoreOutcomeKind::Complete,
+                };
+                outcomes.push(CoreOutcome {
+                    core: name.clone(),
+                    kind,
+                    patterns: Some(patterns),
+                    fault_coverage: Some(result.fault_coverage()),
+                });
+                cores.push(CoreMeasurement {
+                    name,
+                    patterns,
+                    fault_coverage: result.fault_coverage(),
+                    stats: result.stats,
+                });
+                let id = soc.add_core(CoreSpec::leaf(
+                    circuit.name(),
+                    circuit.input_count() as u64,
+                    circuit.output_count() as u64,
+                    0,
+                    circuit.dff_count() as u64,
+                    patterns,
+                ))?;
+                children.push(id);
+            }
+            Err(failure) => outcomes.push(CoreOutcome {
+                core: name,
+                kind: CoreOutcomeKind::Failed(failure),
+                patterns: None,
+                fault_coverage: None,
+            }),
+        }
+    }
+    if children.is_empty() {
+        // Nothing survived; there is no analyzable SOC model.
+        return Err(AnalysisError::Soc(modsoc_soc::SocError::Empty));
+    }
+    soc.add_core(CoreSpec::parent(
+        "top",
+        netlist.chip_input_count() as u64,
+        netlist.chip_output_count() as u64,
+        0,
+        0,
+        options.glue_patterns,
+        children,
+    ))?;
+
+    // Monolithic phase, isolated the same way.
+    let max_core = soc.max_core_patterns();
+    let mono = guard_result(|| {
+        let flat = netlist.flatten()?;
+        engine
+            .run_budgeted(&flat, budget)
+            .map_err(AnalysisError::from)
+    });
+    let (t_mono_raw, mono_coverage) = match mono {
+        Ok(result) => {
+            let patterns = result.pattern_count() as u64;
+            let kind = match &result.exhausted {
+                Some(e) => {
+                    if exhausted.is_none() {
+                        exhausted = Some(e.clone());
+                    }
+                    CoreOutcomeKind::Partial(e.clone())
+                }
+                None => CoreOutcomeKind::Complete,
+            };
+            outcomes.push(CoreOutcome {
+                core: "<monolithic>".to_string(),
+                kind,
+                patterns: Some(patterns),
+                fault_coverage: Some(result.fault_coverage()),
+            });
+            (patterns, result.fault_coverage())
+        }
+        Err(failure) => {
+            outcomes.push(CoreOutcome {
+                core: "<monolithic>".to_string(),
+                kind: CoreOutcomeKind::Failed(failure),
+                patterns: None,
+                fault_coverage: None,
+            });
+            // Fall back to the Equation 2 optimistic bound.
+            (max_core, 0.0)
+        }
+    };
+    let eq2_strict = t_mono_raw > max_core;
+    let t_mono = t_mono_raw.max(max_core);
+
+    let analysis = SocTdvAnalysis::compute_with_measured_tmono(&soc, &options.tdv, t_mono)?;
+    Ok(Completion {
+        result: SocExperiment {
+            soc,
+            analysis,
+            cores,
+            t_mono: t_mono_raw,
+            mono_coverage,
+            eq2_strict,
+        },
+        exhausted,
+        per_core_outcomes: outcomes,
     })
 }
 

@@ -22,6 +22,12 @@
 //!   design (`modsoc-atpg`), and feed the measured pattern counts into
 //!   the analysis — the Tables 1–2 experiments end to end.
 //! * [`report`] — plain-text renderers for each of the paper's tables.
+//! * [`runctl`] — run control: [`RunBudget`] deadlines/cancellation,
+//!   panic isolation, and per-core graceful degradation so one poisoned
+//!   core cannot take down a whole experiment.
+//! * [`chaos`] — a fault-injection harness that corrupts `.bench`/`.soc`
+//!   inputs and injects budget exhaustion, asserting the pipeline always
+//!   terminates with a typed error or partial result.
 //!
 //! # Example
 //!
@@ -49,13 +55,19 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod error;
 pub mod experiment;
 pub mod reconstruct;
 pub mod report;
+pub mod runctl;
 pub mod tdv;
 pub mod timecost;
 
 pub use analysis::{CoreTdvRow, SocTdvAnalysis};
 pub use error::AnalysisError;
+pub use runctl::{
+    BudgetExhausted, Completion, CoreFailure, CoreOutcome, CoreOutcomeKind, ExhaustReason,
+    RunBudget,
+};
 pub use tdv::{ChipPinPolicy, TdvOptions, TdvVolume};

@@ -263,7 +263,9 @@ pub fn reconstruct_table4(row: &Table4Row) -> Result<Soc, SocError> {
 fn fit_pattern_profile(n: usize, target_nstd: f64) -> Result<Vec<f64>, SocError> {
     const REF: u64 = 1 << 20;
     let alpha = fit_alpha(n, REF, target_nstd)?;
-    Ok((0..n).map(|i| (-alpha * i as f64 / n as f64).exp()).collect())
+    Ok((0..n)
+        .map(|i| (-alpha * i as f64 / n as f64).exp())
+        .collect())
 }
 
 /// Fit `T_i = max(1, T_max · e^(−α·i/N))` by bisection on α so the
@@ -283,8 +285,7 @@ fn counts_for(n: usize, t_max: u64, alpha: f64) -> Vec<u64> {
 }
 
 fn fit_alpha(n: usize, t_max: u64, target_nstd: f64) -> Result<f64, SocError> {
-    let nstd_of =
-        |alpha: f64| SampleStats::of(&counts_for(n, t_max, alpha)).normalized_stdev();
+    let nstd_of = |alpha: f64| SampleStats::of(&counts_for(n, t_max, alpha)).normalized_stdev();
     // nstd grows monotonically with alpha from 0 toward ~sqrt(n).
     let (mut lo, mut hi) = (0.0f64, 1.0f64);
     while nstd_of(hi) < target_nstd {
@@ -321,8 +322,7 @@ fn fit_scan_cells(patterns: &[u64], t_max: u64, s_tot: u64, w: u64) -> Result<Ve
     let d_max = d.iter().copied().max().unwrap_or(0);
     if w > 2 * s_tot * d_max {
         return Err(SocError::Infeasible {
-            message: "benefit requires more pattern-count variation than the stdev permits"
-                .into(),
+            message: "benefit requires more pattern-count variation than the stdev permits".into(),
         });
     }
 
@@ -374,7 +374,10 @@ fn fit_scan_cells(patterns: &[u64], t_max: u64, s_tot: u64, w: u64) -> Result<Ve
         }
     }
 
-    let mut scan: Vec<u64> = solution.iter().map(|&s| s.round().max(0.0) as u64).collect();
+    let mut scan: Vec<u64> = solution
+        .iter()
+        .map(|&s| s.round().max(0.0) as u64)
+        .collect();
 
     // Integer repair 1: benefit term, adjusting largest-d cores first.
     let target_w = w as i128;
@@ -546,7 +549,10 @@ mod tests {
             "io {total_io} should exceed scan {total_scan}"
         );
         let a = SocTdvAnalysis::compute(&soc, &TdvOptions::tables_3_4()).unwrap();
-        assert!(a.modular_change_pct() > 0.0, "modular testing loses on g12710");
+        assert!(
+            a.modular_change_pct() > 0.0,
+            "modular testing loses on g12710"
+        );
     }
 
     #[test]
@@ -566,11 +572,8 @@ mod tests {
             tdv_opt_mono: 1_000_000,
             penalty: 1000,
             benefit: 500_000,
-            };
-        assert!(matches!(
-            reconstruct(&t),
-            Err(SocError::Infeasible { .. })
-        ));
+        };
+        assert!(matches!(reconstruct(&t), Err(SocError::Infeasible { .. })));
     }
 
     #[test]

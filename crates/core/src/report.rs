@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use modsoc_soc::Soc;
 
 use crate::analysis::SocTdvAnalysis;
+use crate::runctl::{CoreOutcome, CoreOutcomeKind};
 
 /// Format an integer with thousands separators (`28538030` →
 /// `28,538,030`), as the paper's tables print volumes.
@@ -126,7 +127,11 @@ pub fn render_survey(analyses: &[SocTdvAnalysis]) -> String {
         let _ = writeln!(
             out,
             "{:<10} {:>46} {:>+7.1}% {:>27.1}% {:>25.1}%",
-            "Average", "", sums.0 / n, sums.1 / n, sums.2 / n
+            "Average",
+            "",
+            sums.0 / n,
+            sums.1 / n,
+            sums.2 / n
         );
     }
     out
@@ -199,11 +204,40 @@ pub fn render_survey_csv(analyses: &[SocTdvAnalysis]) -> String {
     out
 }
 
+/// Render the per-core outcome column of a guarded run: one row per
+/// core with `ok` / `partial` / `FAILED`, the patterns it contributed,
+/// and the diagnostic for anything that did not complete.
+#[must_use]
+pub fn render_outcome_table(outcomes: &[CoreOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {:>8} {:>9}  detail", "core", "outcome", "T");
+    for o in outcomes {
+        let patterns = o
+            .patterns
+            .map_or_else(|| "-".to_string(), |t| t.to_string());
+        let detail = match &o.kind {
+            CoreOutcomeKind::Complete => String::new(),
+            CoreOutcomeKind::Partial(e) => e.to_string(),
+            CoreOutcomeKind::Failed(f) => f.to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9}  {}",
+            o.core,
+            o.kind.label(),
+            patterns,
+            detail
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runctl::{analyze_soc_guarded, CoreFailure};
     use crate::tdv::TdvOptions;
-    use modsoc_soc::itc02;
+    use modsoc_soc::{itc02, CoreSpec};
 
     #[test]
     fn thousands_separators() {
@@ -245,6 +279,26 @@ mod tests {
     fn empty_survey_is_header_only() {
         let text = render_survey(&[]);
         assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn outcome_table_shows_failures_inline() {
+        let mut soc = modsoc_soc::Soc::new("mixed");
+        soc.add_core(CoreSpec::leaf("healthy", 4, 3, 0, 20, 100))
+            .unwrap();
+        soc.add_core(CoreSpec::leaf("poisoned", 1, 1, 0, u64::MAX, u64::MAX))
+            .unwrap();
+        let completion = analyze_soc_guarded(&soc, &TdvOptions::tables_1_2());
+        let text = render_outcome_table(&completion.per_core_outcomes);
+        assert!(text.contains("healthy"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+        assert!(text.contains("FAILED"), "{text}");
+        assert!(text.contains("overflow"), "{text}");
+        let failed = completion.failed_cores();
+        assert!(matches!(
+            failed[0].kind,
+            CoreOutcomeKind::Failed(CoreFailure::Overflow)
+        ));
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Run control: budgets, panic isolation and graceful per-core
+//! degradation for the experiment pipeline.
+//!
+//! The paper's pitch for modular testing is *independence*: each core is
+//! tested on its own terms. This module gives the pipeline the matching
+//! failure semantics — one poisoned core (absurd `.soc` numbers, a
+//! pathological netlist, an internal bug) degrades to a typed per-core
+//! diagnostic while the healthy cores still produce their Table-1/2-style
+//! rows, and a [`RunBudget`] bounds the whole run so no single cone can
+//! hold an experiment hostage.
+//!
+//! Entry points return a [`Completion`]: the (possibly partial) result,
+//! an optional [`BudgetExhausted`] marker, and one [`CoreOutcome`] per
+//! core saying whether that core completed, returned partial work on a
+//! tripped budget, or failed with a diagnostic.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use modsoc_soc::Soc;
+
+pub use modsoc_atpg::budget::{BudgetExhausted, ExhaustReason, RunBudget};
+
+use crate::analysis::CoreTdvRow;
+use crate::tdv::{core_tdv_checked, isocost_split_checked, TdvOptions};
+
+/// Why a core's slice of the pipeline failed (as opposed to completing
+/// or returning budget-partial work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreFailure {
+    /// The per-core computation panicked; the payload message is
+    /// preserved. The panic was contained — other cores are unaffected.
+    Panicked(String),
+    /// The per-core computation returned a typed error.
+    Error(String),
+    /// The core's parameters overflow the TDV equations (`u64`): the
+    /// numbers are physically absurd, usually a corrupted `.soc`.
+    Overflow,
+}
+
+impl fmt::Display for CoreFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            CoreFailure::Error(msg) => write!(f, "error: {msg}"),
+            CoreFailure::Overflow => write!(f, "parameter overflow in TDV equations"),
+        }
+    }
+}
+
+impl std::error::Error for CoreFailure {}
+
+/// How one core's slice of a guarded run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreOutcomeKind {
+    /// Finished normally.
+    Complete,
+    /// A budget limit tripped; the core contributed partial work.
+    Partial(BudgetExhausted),
+    /// The core failed; it contributes nothing, with a diagnostic.
+    Failed(CoreFailure),
+}
+
+impl CoreOutcomeKind {
+    /// Short column label for tables: `ok` / `partial` / `FAILED`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoreOutcomeKind::Complete => "ok",
+            CoreOutcomeKind::Partial(_) => "partial",
+            CoreOutcomeKind::Failed(_) => "FAILED",
+        }
+    }
+}
+
+/// Per-core outcome row of a guarded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreOutcome {
+    /// Core (or pseudo-stage, e.g. `"<monolithic>"`) name.
+    pub core: String,
+    /// How the core ended.
+    pub kind: CoreOutcomeKind,
+    /// Patterns the core contributed, when it produced any.
+    pub patterns: Option<u64>,
+    /// Fault coverage reached, when measurable.
+    pub fault_coverage: Option<f64>,
+}
+
+impl CoreOutcome {
+    /// Whether the core contributed usable (complete or partial) work.
+    #[must_use]
+    pub fn contributed(&self) -> bool {
+        !matches!(self.kind, CoreOutcomeKind::Failed(_))
+    }
+}
+
+/// The result of a guarded, budgeted entry point: the work that was
+/// done, whether a budget limit cut it short, and per-core outcomes.
+#[derive(Debug, Clone)]
+pub struct Completion<T> {
+    /// The (possibly partial) result.
+    pub result: T,
+    /// `Some` when a budget limit tripped anywhere in the run.
+    pub exhausted: Option<BudgetExhausted>,
+    /// One outcome per core (plus pipeline pseudo-stages), in run order.
+    pub per_core_outcomes: Vec<CoreOutcome>,
+}
+
+impl<T> Completion<T> {
+    /// Whether every core completed and no budget tripped.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.exhausted.is_none()
+            && self
+                .per_core_outcomes
+                .iter()
+                .all(|o| matches!(o.kind, CoreOutcomeKind::Complete))
+    }
+
+    /// Cores that failed outright.
+    #[must_use]
+    pub fn failed_cores(&self) -> Vec<&CoreOutcome> {
+        self.per_core_outcomes
+            .iter()
+            .filter(|o| matches!(o.kind, CoreOutcomeKind::Failed(_)))
+            .collect()
+    }
+
+    /// Map the result, keeping outcomes and budget state.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Completion<U> {
+        Completion {
+            result: f(self.result),
+            exhausted: self.exhausted,
+            per_core_outcomes: self.per_core_outcomes,
+        }
+    }
+}
+
+/// Extract a printable message from a panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` with panic isolation: a panic becomes
+/// [`CoreFailure::Panicked`] instead of unwinding through the pipeline.
+///
+/// The closure is treated as unwind-safe: the workspace forbids unsafe
+/// code, and guarded closures only touch data that is discarded on
+/// failure, so a broken invariant cannot leak into surviving state.
+///
+/// # Errors
+///
+/// Returns [`CoreFailure::Panicked`] when `f` panics.
+pub fn guard<T>(f: impl FnOnce() -> T) -> Result<T, CoreFailure> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|payload| CoreFailure::Panicked(panic_message(payload)))
+}
+
+/// [`guard`] for fallible closures: panics become
+/// [`CoreFailure::Panicked`], typed errors become [`CoreFailure::Error`].
+///
+/// # Errors
+///
+/// Returns a [`CoreFailure`] when `f` panics or returns `Err`.
+pub fn guard_result<T, E: fmt::Display>(
+    f: impl FnOnce() -> Result<T, E>,
+) -> Result<T, CoreFailure> {
+    match guard(f) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(CoreFailure::Error(e.to_string())),
+        Err(failure) => Err(failure),
+    }
+}
+
+/// Per-core TDV analysis with graceful degradation: every core whose
+/// parameters fit the `u64` equations gets its Table-1/2-style row;
+/// a poisoned core (overflow, panic) gets a typed [`CoreOutcome`]
+/// diagnostic instead of taking the whole analysis down.
+///
+/// The returned rows cover exactly the cores whose outcome
+/// [contributed](CoreOutcome::contributed); `per_core_outcomes` covers
+/// every core in SOC order.
+#[must_use]
+pub fn analyze_soc_guarded(soc: &Soc, options: &TdvOptions) -> Completion<Vec<CoreTdvRow>> {
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for (id, core) in soc.iter() {
+        let computed = guard(|| {
+            let volume = core_tdv_checked(soc, id, options)?;
+            let (iso_s, iso_r) = isocost_split_checked(soc, id, options)?;
+            Some((volume, iso_s.checked_add(iso_r)?))
+        });
+        match computed {
+            Ok(Some((volume, isocost))) => {
+                rows.push(CoreTdvRow {
+                    id,
+                    name: core.name.clone(),
+                    isocost,
+                    volume,
+                });
+                outcomes.push(CoreOutcome {
+                    core: core.name.clone(),
+                    kind: CoreOutcomeKind::Complete,
+                    patterns: Some(core.patterns),
+                    fault_coverage: None,
+                });
+            }
+            Ok(None) => outcomes.push(CoreOutcome {
+                core: core.name.clone(),
+                kind: CoreOutcomeKind::Failed(CoreFailure::Overflow),
+                patterns: Some(core.patterns),
+                fault_coverage: None,
+            }),
+            Err(failure) => outcomes.push(CoreOutcome {
+                core: core.name.clone(),
+                kind: CoreOutcomeKind::Failed(failure),
+                patterns: None,
+                fault_coverage: None,
+            }),
+        }
+    }
+    Completion {
+        result: rows,
+        exhausted: None,
+        per_core_outcomes: outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsoc_soc::CoreSpec;
+
+    #[test]
+    fn guard_contains_panics() {
+        let err = guard(|| panic!("boom {}", 42)).unwrap_err();
+        assert_eq!(err, CoreFailure::Panicked("boom 42".to_string()));
+        assert_eq!(guard(|| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn guard_result_separates_errors_from_panics() {
+        let ok: Result<u32, CoreFailure> = guard_result(|| Ok::<_, String>(3));
+        assert_eq!(ok.unwrap(), 3);
+        let err = guard_result(|| Err::<u32, _>("bad input".to_string())).unwrap_err();
+        assert_eq!(err, CoreFailure::Error("bad input".to_string()));
+        let p = guard_result(|| -> Result<u32, String> { panic!("kaboom") }).unwrap_err();
+        assert!(matches!(p, CoreFailure::Panicked(m) if m == "kaboom"));
+    }
+
+    #[test]
+    fn poisoned_core_degrades_to_diagnostic() {
+        let mut soc = Soc::new("mixed");
+        soc.add_core(CoreSpec::leaf("good_a", 4, 3, 0, 20, 100))
+            .unwrap();
+        soc.add_core(CoreSpec::leaf("poisoned", 1, 1, 0, u64::MAX, u64::MAX))
+            .unwrap();
+        soc.add_core(CoreSpec::leaf("good_b", 2, 2, 0, 10, 50))
+            .unwrap();
+        let completion = analyze_soc_guarded(&soc, &TdvOptions::tables_3_4());
+        assert_eq!(completion.per_core_outcomes.len(), 3);
+        assert_eq!(completion.result.len(), 2, "healthy cores still get rows");
+        assert!(completion.result.iter().any(|r| r.name == "good_a"));
+        assert!(completion.result.iter().any(|r| r.name == "good_b"));
+        let failed = completion.failed_cores();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].core, "poisoned");
+        assert!(matches!(
+            failed[0].kind,
+            CoreOutcomeKind::Failed(CoreFailure::Overflow)
+        ));
+        assert!(!completion.is_complete());
+    }
+
+    #[test]
+    fn healthy_soc_is_complete() {
+        let mut soc = Soc::new("ok");
+        soc.add_core(CoreSpec::leaf("a", 4, 3, 0, 20, 100)).unwrap();
+        let completion = analyze_soc_guarded(&soc, &TdvOptions::tables_1_2());
+        assert!(completion.is_complete());
+        assert_eq!(completion.result.len(), 1);
+        assert_eq!(completion.per_core_outcomes[0].kind.label(), "ok");
+    }
+
+    #[test]
+    fn completion_map_preserves_outcomes() {
+        let c = Completion {
+            result: 5u32,
+            exhausted: None,
+            per_core_outcomes: vec![],
+        };
+        let mapped = c.map(|v| v * 2);
+        assert_eq!(mapped.result, 10);
+        assert!(mapped.is_complete());
+    }
+}

@@ -91,10 +91,11 @@ pub struct TdvVolume {
 }
 
 impl TdvVolume {
-    /// Total bits (the quantity the paper's tables report).
+    /// Total bits (the quantity the paper's tables report). Saturates at
+    /// `u64::MAX` instead of overflowing.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.stimulus + self.response
+        self.stimulus.saturating_add(self.response)
     }
 }
 
@@ -102,8 +103,8 @@ impl std::ops::Add for TdvVolume {
     type Output = TdvVolume;
     fn add(self, rhs: TdvVolume) -> TdvVolume {
         TdvVolume {
-            stimulus: self.stimulus + rhs.stimulus,
-            response: self.response + rhs.response,
+            stimulus: self.stimulus.saturating_add(rhs.stimulus),
+            response: self.response.saturating_add(rhs.response),
         }
     }
 }
@@ -132,16 +133,24 @@ pub fn isocost_split(soc: &Soc, id: CoreId, options: &TdvOptions) -> (u64, u64) 
     let is_top = soc.top_level_cores().contains(&id);
     let own = match (options.chip_pin_policy, is_top) {
         (ChipPinPolicy::Exclude, true) => (0, 0),
-        _ => (core.inputs + core.bidirs, core.outputs + core.bidirs),
+        _ => (
+            core.inputs.saturating_add(core.bidirs),
+            core.outputs.saturating_add(core.bidirs),
+        ),
     };
     let children = core
         .children
         .iter()
         .map(|&ch| {
             let c = soc.core(ch);
-            (c.outputs + c.bidirs, c.inputs + c.bidirs)
+            (
+                c.outputs.saturating_add(c.bidirs),
+                c.inputs.saturating_add(c.bidirs),
+            )
         })
-        .fold((0, 0), |(s, r), (cs, cr)| (s + cs, r + cr));
+        .fold((0u64, 0u64), |(s, r), (cs, cr)| {
+            (s.saturating_add(cs), r.saturating_add(cr))
+        });
     let scale = |v: u64| -> u64 {
         if options.functional_reuse == 0.0 {
             v
@@ -149,7 +158,10 @@ pub fn isocost_split(soc: &Soc, id: CoreId, options: &TdvOptions) -> (u64, u64) 
             ((1.0 - options.functional_reuse) * v as f64).round() as u64
         }
     };
-    (scale(own.0 + children.0), scale(own.1 + children.1))
+    (
+        scale(own.0.saturating_add(children.0)),
+        scale(own.1.saturating_add(children.1)),
+    )
 }
 
 /// Total per-pattern wrapper bit cost of testing core `id` — `ISOCOST`
@@ -161,7 +173,7 @@ pub fn isocost_split(soc: &Soc, id: CoreId, options: &TdvOptions) -> (u64, u64) 
 #[must_use]
 pub fn isocost(soc: &Soc, id: CoreId, options: &TdvOptions) -> u64 {
     let (s, r) = isocost_split(soc, id, options);
-    s + r
+    s.saturating_add(r)
 }
 
 /// Stand-alone test data volume of core `id` (one term of Equation 4):
@@ -175,9 +187,70 @@ pub fn core_tdv(soc: &Soc, id: CoreId, options: &TdvOptions) -> TdvVolume {
     let core = soc.core(id);
     let (iso_s, iso_r) = isocost_split(soc, id, options);
     TdvVolume {
-        stimulus: core.patterns * (core.scan_cells + iso_s),
-        response: core.patterns * (core.scan_cells + iso_r),
+        stimulus: core
+            .patterns
+            .saturating_mul(core.scan_cells.saturating_add(iso_s)),
+        response: core
+            .patterns
+            .saturating_mul(core.scan_cells.saturating_add(iso_r)),
     }
+}
+
+/// [`core_tdv`] with overflow detection: `None` when any intermediate
+/// product or sum exceeds `u64` — the typed "this core's numbers are
+/// absurd" signal the guarded analysis layer turns into a per-core
+/// diagnostic instead of a panic (or a silently saturated row).
+///
+/// # Panics
+///
+/// Panics if `id` does not belong to `soc`.
+#[must_use]
+pub fn core_tdv_checked(soc: &Soc, id: CoreId, options: &TdvOptions) -> Option<TdvVolume> {
+    let core = soc.core(id);
+    let (iso_s, iso_r) = isocost_split_checked(soc, id, options)?;
+    Some(TdvVolume {
+        stimulus: core
+            .patterns
+            .checked_mul(core.scan_cells.checked_add(iso_s)?)?,
+        response: core
+            .patterns
+            .checked_mul(core.scan_cells.checked_add(iso_r)?)?,
+    })
+}
+
+/// [`isocost_split`] with overflow detection (see [`core_tdv_checked`]).
+///
+/// # Panics
+///
+/// Panics if `id` does not belong to `soc`.
+#[must_use]
+pub fn isocost_split_checked(soc: &Soc, id: CoreId, options: &TdvOptions) -> Option<(u64, u64)> {
+    let core = soc.core(id);
+    let is_top = soc.top_level_cores().contains(&id);
+    let own = match (options.chip_pin_policy, is_top) {
+        (ChipPinPolicy::Exclude, true) => (0, 0),
+        _ => (
+            core.inputs.checked_add(core.bidirs)?,
+            core.outputs.checked_add(core.bidirs)?,
+        ),
+    };
+    let mut children = (0u64, 0u64);
+    for &ch in &core.children {
+        let c = soc.core(ch);
+        children.0 = children.0.checked_add(c.outputs.checked_add(c.bidirs)?)?;
+        children.1 = children.1.checked_add(c.inputs.checked_add(c.bidirs)?)?;
+    }
+    let scale = |v: u64| -> u64 {
+        if options.functional_reuse == 0.0 {
+            v
+        } else {
+            ((1.0 - options.functional_reuse) * v as f64).round() as u64
+        }
+    };
+    Some((
+        scale(own.0.checked_add(children.0)?),
+        scale(own.1.checked_add(children.1)?),
+    ))
 }
 
 /// Modular SOC test data volume (Equation 4): the sum of every core's
@@ -195,8 +268,8 @@ pub fn monolithic_tdv(soc: &Soc, t_mono: u64) -> TdvVolume {
     let (i, o, b) = soc.chip_pins();
     let s = soc.total_scan_cells();
     TdvVolume {
-        stimulus: t_mono * (i + b + s),
-        response: t_mono * (o + b + s),
+        stimulus: t_mono.saturating_mul(i.saturating_add(b).saturating_add(s)),
+        response: t_mono.saturating_mul(o.saturating_add(b).saturating_add(s)),
     }
 }
 
@@ -212,8 +285,8 @@ pub fn monolithic_tdv_optimistic(soc: &Soc) -> TdvVolume {
 #[must_use]
 pub fn penalty(soc: &Soc, options: &TdvOptions) -> u64 {
     soc.iter()
-        .map(|(id, c)| c.patterns * isocost(soc, id, options))
-        .sum()
+        .map(|(id, c)| c.patterns.saturating_mul(isocost(soc, id, options)))
+        .fold(0u64, u64::saturating_add)
 }
 
 /// Benefit as printed in Equation 8: `Σ (T_mono − T_A) · 2 S_A`.
@@ -223,8 +296,13 @@ pub fn penalty(soc: &Soc, options: &TdvOptions) -> u64 {
 #[must_use]
 pub fn benefit_eq8(soc: &Soc, t_mono: u64) -> u64 {
     soc.iter()
-        .map(|(_, c)| (t_mono.saturating_sub(c.patterns)) * 2 * c.scan_cells)
-        .sum()
+        .map(|(_, c)| {
+            t_mono
+                .saturating_sub(c.patterns)
+                .saturating_mul(2)
+                .saturating_mul(c.scan_cells)
+        })
+        .fold(0u64, u64::saturating_add)
 }
 
 /// Exact benefit: defined so Equation 6 balances identically,
@@ -345,7 +423,8 @@ mod tests {
         );
         let ben = benefit_exact(&soc, soc.max_core_patterns(), &opts);
         assert!(
-            ((ben as i64 - row.benefit as i64).unsigned_abs() as f64) / (row.benefit as f64) < 0.001,
+            ((ben as i64 - row.benefit as i64).unsigned_abs() as f64) / (row.benefit as f64)
+                < 0.001,
             "benefit {ben} vs paper {}",
             row.benefit
         );
@@ -392,8 +471,14 @@ mod tests {
 
     #[test]
     fn volumes_add_and_sum() {
-        let a = TdvVolume { stimulus: 1, response: 2 };
-        let b = TdvVolume { stimulus: 10, response: 20 };
+        let a = TdvVolume {
+            stimulus: 1,
+            response: 2,
+        };
+        let b = TdvVolume {
+            stimulus: 10,
+            response: 20,
+        };
         assert_eq!((a + b).total(), 33);
         let s: TdvVolume = [a, b].into_iter().sum();
         assert_eq!(s.total(), 33);
@@ -444,6 +529,45 @@ mod tests {
             let via_modular = modular_tdv(&flat_soc, &TdvOptions::tables_3_4());
             let via_eq1 = monolithic_tdv(&soc, t_mono);
             assert_eq!(via_modular, via_eq1, "{}", soc.name());
+        }
+    }
+
+    #[test]
+    fn absurd_counts_saturate_instead_of_panicking() {
+        // A corrupted .soc can carry counts near u64::MAX; the raw
+        // equations must saturate (never overflow-panic in debug builds)
+        // and the checked variants must flag the overflow.
+        let mut soc = Soc::new("huge");
+        soc.add_core(CoreSpec::leaf("x", 3, 2, 1, u64::MAX, u64::MAX))
+            .unwrap();
+        let opts = TdvOptions::tables_3_4();
+        let id = soc.find("x").unwrap();
+        assert_eq!(core_tdv(&soc, id, &opts).total(), u64::MAX);
+        assert_eq!(modular_tdv(&soc, &opts).total(), u64::MAX);
+        assert_eq!(monolithic_tdv(&soc, u64::MAX).total(), u64::MAX);
+        assert_eq!(penalty(&soc, &opts), u64::MAX);
+        let _ = benefit_eq8(&soc, u64::MAX);
+        let _ = benefit_exact(&soc, u64::MAX, &opts);
+        assert_eq!(core_tdv_checked(&soc, id, &opts), None);
+    }
+
+    #[test]
+    fn checked_matches_raw_in_normal_range() {
+        for soc in [itc02::soc1(), itc02::soc2(), itc02::p34392()] {
+            for opts in [TdvOptions::tables_1_2(), TdvOptions::tables_3_4()] {
+                for (id, _) in soc.iter() {
+                    assert_eq!(
+                        core_tdv_checked(&soc, id, &opts),
+                        Some(core_tdv(&soc, id, &opts)),
+                        "{} {id}",
+                        soc.name()
+                    );
+                    assert_eq!(
+                        isocost_split_checked(&soc, id, &opts),
+                        Some(isocost_split(&soc, id, &opts))
+                    );
+                }
+            }
         }
     }
 

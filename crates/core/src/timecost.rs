@@ -89,14 +89,7 @@ pub fn time_cost(
     // chain per TAM wire — the paper's balanced-chain assumption).
     let (i, o, b) = soc.chip_pins();
     let flat = WrapperCore::from_core_spec(
-        &modsoc_soc::CoreSpec::leaf(
-            "flat",
-            i,
-            o,
-            b,
-            soc.total_scan_cells(),
-            tdv.t_mono(),
-        ),
+        &modsoc_soc::CoreSpec::leaf("flat", i, o, b, soc.total_scan_cells(), tdv.t_mono()),
         width,
     );
     let monolithic_time = design_wrapper(&flat, width).test_time_self();

@@ -15,11 +15,11 @@ use modsoc_soc::stats::pattern_count_stats;
 /// duplicating the solver's feasibility logic.
 fn arb_targets() -> impl Strategy<Value = ReconstructionTargets> {
     (
-        3usize..24,            // cores
-        0.05f64..1.6,          // normalized stdev target
-        12u64..2000,           // T_max scale
-        50u64..4000,           // scan per core scale
-        5u64..400,             // io per core scale
+        3usize..24,   // cores
+        0.05f64..1.6, // normalized stdev target
+        12u64..2000,  // T_max scale
+        50u64..4000,  // scan per core scale
+        5u64..400,    // io per core scale
     )
         .prop_map(|(n, nstd, t_scale, s_scale, io_scale)| {
             // Forward model: exponential pattern profile.
@@ -30,8 +30,12 @@ fn arb_targets() -> impl Strategy<Value = ReconstructionTargets> {
                     ((t_max as f64 * (-alpha * i as f64 / n as f64).exp()).round() as u64).max(1)
                 })
                 .collect();
-            let scan: Vec<u64> = (0..n).map(|i| s_scale + (i as u64 * 13) % s_scale.max(1)).collect();
-            let io: Vec<u64> = (0..n).map(|i| io_scale + (i as u64 * 7) % io_scale.max(1)).collect();
+            let scan: Vec<u64> = (0..n)
+                .map(|i| s_scale + (i as u64 * 13) % s_scale.max(1))
+                .collect();
+            let io: Vec<u64> = (0..n)
+                .map(|i| io_scale + (i as u64 * 7) % io_scale.max(1))
+                .collect();
             let io_chip = 100u64;
             let s_tot: u64 = scan.iter().sum();
             let v = (io_chip + 2 * s_tot) * t_max;

@@ -28,8 +28,11 @@ use crate::gate::GateKind;
 /// # Errors
 ///
 /// Returns [`NetlistError::ParseBench`] with a line number for any
-/// syntactic problem, [`NetlistError::UnknownName`] if a referenced signal
-/// is never defined, and validation errors for structural problems.
+/// syntactic problem, [`NetlistError::EmptySource`] when the source has
+/// no statements, [`NetlistError::Unterminated`] for a `(...)` that
+/// never closes, [`NetlistError::DuplicateNet`] when a signal is defined
+/// twice, [`NetlistError::UnknownName`] if a referenced signal is never
+/// defined, and validation errors for structural problems.
 ///
 /// # Example
 ///
@@ -73,10 +76,7 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
         if let Some(rest) = strip_directive(text, "INPUT") {
             let sig = rest.to_string();
             if defined.insert(sig.clone(), ()).is_some() {
-                return Err(NetlistError::ParseBench {
-                    line,
-                    message: format!("signal `{sig}` defined twice"),
-                });
+                return Err(NetlistError::DuplicateNet { name: sig, line });
             }
             inputs.push((sig, line));
         } else if let Some(rest) = strip_directive(text, "OUTPUT") {
@@ -89,16 +89,14 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
                 message: format!("expected `KIND(...)` after `=`, got `{rhs}`"),
             })?;
             if !rhs.ends_with(')') {
-                return Err(NetlistError::ParseBench {
-                    line,
-                    message: "missing closing parenthesis".into(),
-                });
+                return Err(NetlistError::Unterminated { line });
             }
             let kw = rhs[..open].trim();
-            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::ParseBench {
-                line,
-                message: format!("unknown gate kind `{kw}`"),
-            })?;
+            let kind =
+                GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::ParseBench {
+                    line,
+                    message: format!("unknown gate kind `{kw}`"),
+                })?;
             let args = rhs[open + 1..rhs.len() - 1].trim();
             let fanin: Vec<String> = if args.is_empty() {
                 Vec::new()
@@ -118,18 +116,21 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
                 });
             }
             if defined.insert(lhs.clone(), ()).is_some() {
-                return Err(NetlistError::ParseBench {
-                    line,
-                    message: format!("signal `{lhs}` defined twice"),
-                });
+                return Err(NetlistError::DuplicateNet { name: lhs, line });
             }
             defs.push((lhs, Def { kind, fanin, line }));
         } else {
+            if text.contains('(') && !text.ends_with(')') {
+                return Err(NetlistError::Unterminated { line });
+            }
             return Err(NetlistError::ParseBench {
                 line,
                 message: format!("unrecognized line `{text}`"),
             });
         }
+    }
+    if inputs.is_empty() && outputs.is_empty() && defs.is_empty() {
+        return Err(NetlistError::EmptySource);
     }
 
     // Instantiate: inputs first, then all flip-flops with deferred fanin
@@ -145,10 +146,9 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
     for (sig, d) in &defs {
         if d.kind == GateKind::Dff {
             let id = c.add_dff_deferred(sig.clone()).map_err(|e| match e {
-                NetlistError::DuplicateName { name } => NetlistError::ParseBench {
-                    line: d.line,
-                    message: format!("signal `{name}` defined twice"),
-                },
+                NetlistError::DuplicateName { name } => {
+                    NetlistError::DuplicateNet { name, line: d.line }
+                }
                 other => other,
             })?;
             ids.insert(sig.clone(), id);
@@ -221,22 +221,25 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, NetlistError> {
         if d.kind != GateKind::Dff {
             continue;
         }
-        let fid = ids
-            .get(d.fanin[0].as_str())
-            .copied()
-            .ok_or_else(|| NetlistError::ParseBench {
-                line: d.line,
-                message: format!("signal `{}` is never defined", d.fanin[0]),
-            })?;
+        let fid =
+            ids.get(d.fanin[0].as_str())
+                .copied()
+                .ok_or_else(|| NetlistError::ParseBench {
+                    line: d.line,
+                    message: format!("signal `{}` is never defined", d.fanin[0]),
+                })?;
         let id = ids[sig.as_str()];
         c.set_fanin(id, &[fid])?;
     }
 
     for (sig, line) in &outputs {
-        let id = ids.get(sig.as_str()).copied().ok_or(NetlistError::ParseBench {
-            line: *line,
-            message: format!("output signal `{sig}` is never defined"),
-        })?;
+        let id = ids
+            .get(sig.as_str())
+            .copied()
+            .ok_or(NetlistError::ParseBench {
+                line: *line,
+                message: format!("output signal `{sig}` is never defined"),
+            })?;
         c.mark_output(id);
     }
     c.validate()?;
@@ -272,7 +275,10 @@ pub fn write_bench(circuit: &Circuit) -> String {
         if node.kind == GateKind::Input {
             continue;
         }
-        let kw = node.kind.bench_keyword().expect("non-input kinds have keywords");
+        let kw = node
+            .kind
+            .bench_keyword()
+            .expect("non-input kinds have keywords");
         let fanin: Vec<&str> = node
             .fanin
             .iter()
@@ -348,7 +354,10 @@ G17 = OR(G10, G11)
     fn undefined_signal_rejected() {
         let err = parse_bench("c", "INPUT(a)\nOUTPUT(b)\nb = NOT(zz)\n").unwrap_err();
         assert!(
-            matches!(err, NetlistError::ParseBench { .. } | NetlistError::UnknownName { .. }),
+            matches!(
+                err,
+                NetlistError::ParseBench { .. } | NetlistError::UnknownName { .. }
+            ),
             "{err}"
         );
     }
@@ -356,7 +365,27 @@ G17 = OR(G10, G11)
     #[test]
     fn duplicate_definition_rejected() {
         let err = parse_bench("c", "INPUT(a)\na = NOT(a)\n").unwrap_err();
-        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+        assert!(matches!(err, NetlistError::DuplicateNet { line: 2, ref name } if name == "a"));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nINPUT(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateNet { line: 2, ref name } if name == "a"));
+    }
+
+    #[test]
+    fn duplicate_gate_definition_rejected() {
+        let err = parse_bench("c", "INPUT(a)\nx = NOT(a)\nx = NOT(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateNet { line: 3, ref name } if name == "x"));
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        for src in ["", "\n\n", "# only a comment\n\n# another\n"] {
+            let err = parse_bench("c", src).unwrap_err();
+            assert!(matches!(err, NetlistError::EmptySource), "{src:?}");
+        }
     }
 
     #[test]
@@ -383,7 +412,13 @@ q = AND(f1, a)
     #[test]
     fn missing_paren_rejected() {
         let err = parse_bench("c", "INPUT(a)\nb = NOT(a\n").unwrap_err();
-        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+        assert!(matches!(err, NetlistError::Unterminated { line: 2 }));
+        // A truncated directive line (no `=`) is also unterminated.
+        let err = parse_bench("c", "INPUT(a)\nOUTPUT(b\n").unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Unterminated { line: 2 }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -182,9 +182,7 @@ impl Circuit {
     /// before anything can clash; use [`Circuit::add_gate`] for fallible
     /// creation).
     pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
-        
-        self
-            .try_add_node(name.into(), GateKind::Input, Vec::new())
+        self.try_add_node(name.into(), GateKind::Input, Vec::new())
             .expect("input arity is always valid and name must be fresh")
     }
 
@@ -222,7 +220,10 @@ impl Circuit {
         }
         for f in &fanin {
             if f.index() >= self.nodes.len() {
-                return Err(NetlistError::DanglingFanin { gate: name, id: f.0 });
+                return Err(NetlistError::DanglingFanin {
+                    gate: name,
+                    id: f.0,
+                });
             }
         }
         let id = NodeId::from_index(self.nodes.len());
@@ -366,7 +367,9 @@ impl Circuit {
                 indegree[i] += 1;
             }
         }
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {

@@ -181,11 +181,7 @@ pub fn extract_cones(circuit: &Circuit) -> Result<ConeAnalysis, NetlistError> {
 ///
 /// Propagates structural errors from circuit construction.
 pub fn cone_subcircuit(circuit: &Circuit, cone: &Cone) -> Result<Circuit, NetlistError> {
-    let mut sub = Circuit::new(format!(
-        "{}.cone{}",
-        circuit.name(),
-        cone.output_index
-    ));
+    let mut sub = Circuit::new(format!("{}.cone{}", circuit.name(), cone.output_index));
     let mut map: Vec<Option<NodeId>> = vec![None; circuit.node_count()];
     for &s in &cone.support {
         let id = sub.add_input(circuit.node(s).name.clone());
@@ -346,10 +342,7 @@ mod tests {
         for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
             let full = simulate_single(&c, &[va, vb]).unwrap();
             let part = simulate_single(&sub, &[va, vb]).unwrap();
-            assert_eq!(
-                full[c.outputs()[0].index()],
-                part[sub.outputs()[0].index()]
-            );
+            assert_eq!(full[c.outputs()[0].index()], part[sub.outputs()[0].index()]);
         }
     }
 

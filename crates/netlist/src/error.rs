@@ -47,6 +47,22 @@ pub enum NetlistError {
         /// Explanation of what was wrong.
         message: String,
     },
+    /// The source contained no statements at all (empty file, or only
+    /// comments and blank lines).
+    EmptySource,
+    /// A line opened a `(...)` argument list that never closes —
+    /// typically a truncated file.
+    Unterminated {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The same net (signal) was defined twice.
+    DuplicateNet {
+        /// The offending net name.
+        name: String,
+        /// 1-based line number of the second definition.
+        line: usize,
+    },
     /// The operation requires a purely combinational circuit but the circuit
     /// contains flip-flops.
     NotCombinational {
@@ -85,8 +101,23 @@ impl fmt::Display for NetlistError {
             NetlistError::ParseBench { line, message } => {
                 write!(f, "bench parse error at line {line}: {message}")
             }
+            NetlistError::EmptySource => {
+                write!(f, "source contains no netlist statements")
+            }
+            NetlistError::Unterminated { line } => {
+                write!(f, "unterminated argument list at line {line}")
+            }
+            NetlistError::DuplicateNet { name, line } => {
+                write!(
+                    f,
+                    "net `{name}` defined twice (second definition at line {line})"
+                )
+            }
             NetlistError::NotCombinational { node } => {
-                write!(f, "circuit is not combinational: node `{node}` is sequential")
+                write!(
+                    f,
+                    "circuit is not combinational: node `{node}` is sequential"
+                )
             }
             NetlistError::NoObservationPoints => {
                 write!(f, "circuit has no primary outputs and no flip-flops")
@@ -126,14 +157,28 @@ mod tests {
     #[test]
     fn all_variants_display() {
         let variants: Vec<NetlistError> = vec![
-            NetlistError::DanglingFanin { gate: "g".into(), id: 7 },
+            NetlistError::DanglingFanin {
+                gate: "g".into(),
+                id: 7,
+            },
             NetlistError::CombinationalCycle { node: "n".into() },
             NetlistError::DuplicateName { name: "x".into() },
             NetlistError::UnknownName { name: "y".into() },
-            NetlistError::ParseBench { line: 3, message: "bad token".into() },
+            NetlistError::ParseBench {
+                line: 3,
+                message: "bad token".into(),
+            },
+            NetlistError::EmptySource,
+            NetlistError::Unterminated { line: 4 },
+            NetlistError::DuplicateNet {
+                name: "n1".into(),
+                line: 9,
+            },
             NetlistError::NotCombinational { node: "ff".into() },
             NetlistError::NoObservationPoints,
-            NetlistError::PortMismatch { message: "width".into() },
+            NetlistError::PortMismatch {
+                message: "width".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

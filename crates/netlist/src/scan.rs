@@ -15,7 +15,6 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::error::NetlistError;
 
-
 /// Where a test-model input or output comes from in the original circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

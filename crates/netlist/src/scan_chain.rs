@@ -144,7 +144,10 @@ impl<'a> ScanSimulator<'a> {
     /// # Errors
     ///
     /// Propagates circuit validation errors.
-    pub fn new(circuit: &'a Circuit, chains: &'a ScanChains) -> Result<ScanSimulator<'a>, NetlistError> {
+    pub fn new(
+        circuit: &'a Circuit,
+        chains: &'a ScanChains,
+    ) -> Result<ScanSimulator<'a>, NetlistError> {
         circuit.validate()?;
         Ok(ScanSimulator {
             circuit,
@@ -339,7 +342,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.outputs, vec![true]); // AND(1,1)
         assert_eq!(r.captured, vec![vec![true], vec![true]]); // f1<-d=1, f2<-f1=1
-        // The new state is the captured one.
+                                                              // The new state is the captured one.
         assert!(sim.flip_flop_state(c.find("f1").unwrap()));
     }
 
@@ -360,7 +363,9 @@ mod tests {
         let c = shiftreg();
         let chains = ScanChains::balanced(&c, 1).unwrap();
         let mut sim = ScanSimulator::new(&c, &chains).unwrap();
-        assert!(sim.apply_pattern(&[true, true], &[vec![true, false]]).is_err());
+        assert!(sim
+            .apply_pattern(&[true, true], &[vec![true, false]])
+            .is_err());
         assert!(sim.apply_pattern(&[true], &[vec![true]]).is_err());
     }
 

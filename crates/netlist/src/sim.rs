@@ -105,7 +105,11 @@ impl Simulator {
     #[must_use]
     pub fn run_outputs(&self, circuit: &Circuit, input_words: &[u64]) -> Vec<u64> {
         let values = self.run_on(circuit, input_words);
-        circuit.outputs().iter().map(|o| values[o.index()]).collect()
+        circuit
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect()
     }
 
     /// Evaluate all nodes, forcing the node `fault_site` to `forced_value`

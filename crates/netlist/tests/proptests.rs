@@ -52,7 +52,10 @@ fn build(rc: &RandomCircuit) -> Circuit {
         } else {
             kind
         };
-        nodes.push(c.add_gate(format!("g{gi}"), kind, &fanin).expect("valid gate"));
+        nodes.push(
+            c.add_gate(format!("g{gi}"), kind, &fanin)
+                .expect("valid gate"),
+        );
     }
     for &o in &rc.outputs {
         c.mark_output(nodes[o % nodes.len()]);

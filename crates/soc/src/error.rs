@@ -28,6 +28,9 @@ pub enum SocError {
     },
     /// The SOC has no cores.
     Empty,
+    /// The source contained no directives at all (empty file, or only
+    /// comments and blank lines).
+    EmptySource,
     /// A `.soc`-style file could not be parsed.
     ParseSoc {
         /// 1-based line number.
@@ -56,6 +59,7 @@ impl fmt::Display for SocError {
                 write!(f, "embedding hierarchy is cyclic at core `{name}`")
             }
             SocError::Empty => write!(f, "soc has no cores"),
+            SocError::EmptySource => write!(f, "source contains no soc directives"),
             SocError::ParseSoc { line, message } => {
                 write!(f, "soc parse error at line {line}: {message}")
             }
@@ -80,8 +84,14 @@ mod tests {
             SocError::MultiplyEmbedded { name: "z".into() },
             SocError::CyclicHierarchy { name: "w".into() },
             SocError::Empty,
-            SocError::ParseSoc { line: 2, message: "bad".into() },
-            SocError::Infeasible { message: "benefit too small".into() },
+            SocError::EmptySource,
+            SocError::ParseSoc {
+                line: 2,
+                message: "bad".into(),
+            },
+            SocError::Infeasible {
+                message: "benefit too small".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

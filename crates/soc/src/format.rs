@@ -135,6 +135,10 @@ pub fn parse_soc(source: &str) -> Result<Soc, SocError> {
         }
     }
 
+    if soc_name.is_none() && lines.is_empty() {
+        return Err(SocError::EmptySource);
+    }
+
     // Order: children before parents (Kahn over the child edges).
     let index: HashMap<&str, usize> = lines
         .iter()
@@ -187,11 +191,7 @@ pub fn parse_soc(source: &str) -> Result<Soc, SocError> {
     let mut ids: HashMap<&str, CoreId> = HashMap::new();
     for &li in &queue {
         let l = &lines[li];
-        let children: Vec<CoreId> = l
-            .children
-            .iter()
-            .map(|ch| ids[ch.as_str()])
-            .collect();
+        let children: Vec<CoreId> = l.children.iter().map(|ch| ids[ch.as_str()]).collect();
         let id = soc.add_core(CoreSpec::parent(
             l.name.clone(),
             l.i,
@@ -269,8 +269,16 @@ core b i=2 o=2 b=0 s=8 t=90
                 (c.inputs, c.outputs, c.bidirs, c.scan_cells, c.patterns),
                 (c2.inputs, c2.outputs, c2.bidirs, c2.scan_cells, c2.patterns)
             );
-            let ch1: Vec<&str> = c.children.iter().map(|i| s1.core(*i).name.as_str()).collect();
-            let ch2: Vec<&str> = c2.children.iter().map(|i| s2.core(*i).name.as_str()).collect();
+            let ch1: Vec<&str> = c
+                .children
+                .iter()
+                .map(|i| s1.core(*i).name.as_str())
+                .collect();
+            let ch2: Vec<&str> = c2
+                .children
+                .iter()
+                .map(|i| s2.core(*i).name.as_str())
+                .collect();
             assert_eq!(ch1, ch2);
         }
     }
@@ -332,5 +340,21 @@ core b i=2 o=2 b=0 s=8 t=90
     fn unknown_directive_rejected() {
         let err = parse_soc("module x\n").unwrap_err();
         assert!(matches!(err, SocError::ParseSoc { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        for src in ["", "\n", "# comment only\n\n"] {
+            let err = parse_soc(src).unwrap_err();
+            assert!(matches!(err, SocError::EmptySource), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn soc_line_without_cores_is_empty() {
+        // A `soc` header with no cores is structurally empty, which is a
+        // different diagnostic from an entirely empty source.
+        let err = parse_soc("soc lonely\n").unwrap_err();
+        assert!(matches!(err, SocError::Empty));
     }
 }

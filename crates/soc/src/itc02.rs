@@ -54,8 +54,14 @@ pub fn soc2() -> Soc {
     let add = |soc: &mut Soc, spec| soc.add_core(spec).expect("embedded data is valid");
     let c1 = add(&mut soc, CoreSpec::leaf("core1_s953", 16, 23, 0, 29, 85));
     let c2 = add(&mut soc, CoreSpec::leaf("core2_s5378", 35, 49, 0, 179, 244));
-    let c3 = add(&mut soc, CoreSpec::leaf("core3_s13207", 31, 121, 0, 669, 452));
-    let c4 = add(&mut soc, CoreSpec::leaf("core4_s15850", 14, 87, 0, 597, 428));
+    let c3 = add(
+        &mut soc,
+        CoreSpec::leaf("core3_s13207", 31, 121, 0, 669, 452),
+    );
+    let c4 = add(
+        &mut soc,
+        CoreSpec::leaf("core4_s15850", 14, 87, 0, 597, 428),
+    );
     add(
         &mut soc,
         CoreSpec::parent("top", 14, 198, 0, 0, 2, vec![c1, c2, c3, c4]),
@@ -435,7 +441,11 @@ mod tests {
             assert!((ben - row.benefit_pct).abs() < 0.11, "{}: {ben}", row.name);
             let pen = row.penalty as f64 / row.tdv_opt_mono as f64 * 100.0;
             if row.name == "p34392" {
-                assert!((pen - row.penalty_pct / 10.0).abs() < 0.011, "{}: {pen}", row.name);
+                assert!(
+                    (pen - row.penalty_pct / 10.0).abs() < 0.011,
+                    "{}: {pen}",
+                    row.name
+                );
             } else {
                 assert!((pen - row.penalty_pct).abs() < 0.11, "{}: {pen}", row.name);
             }

@@ -105,18 +105,29 @@ impl Soc {
     /// top-level cores.
     #[must_use]
     pub fn chip_pins(&self) -> (u64, u64, u64) {
+        // Saturating: corrupted `.soc` files can carry near-`u64::MAX`
+        // counts, and aggregate views must not panic on them (the
+        // analysis layer flags such cores with its checked variants).
         self.top_level_cores()
             .into_iter()
             .map(|id| self.core(id))
             .fold((0, 0, 0), |(i, o, b), c| {
-                (i + c.inputs, o + c.outputs, b + c.bidirs)
+                (
+                    i.saturating_add(c.inputs),
+                    o.saturating_add(c.outputs),
+                    b.saturating_add(c.bidirs),
+                )
             })
     }
 
-    /// Total scan cells over all cores — `S_chip` in Equation 1.
+    /// Total scan cells over all cores — `S_chip` in Equation 1
+    /// (saturating at `u64::MAX` on absurd inputs).
     #[must_use]
     pub fn total_scan_cells(&self) -> u64 {
-        self.cores.iter().map(|c| c.scan_cells).sum()
+        self.cores
+            .iter()
+            .map(|c| c.scan_cells)
+            .fold(0u64, u64::saturating_add)
     }
 
     /// Maximum per-core pattern count — the paper's lower bound on the
@@ -280,7 +291,15 @@ mod tests {
     fn unknown_child_rejected() {
         let mut s = Soc::new("u");
         let err = s
-            .add_core(CoreSpec::parent("p", 1, 1, 0, 0, 1, vec![CoreId::from_index(7)]))
+            .add_core(CoreSpec::parent(
+                "p",
+                1,
+                1,
+                0,
+                0,
+                1,
+                vec![CoreId::from_index(7)],
+            ))
             .unwrap_err();
         assert!(matches!(err, SocError::UnknownCore { .. }));
     }
@@ -289,8 +308,10 @@ mod tests {
     fn double_embedding_rejected() {
         let mut s = Soc::new("m");
         let a = s.add_core(CoreSpec::leaf("a", 1, 1, 0, 0, 1)).unwrap();
-        s.add_core(CoreSpec::parent("p1", 1, 1, 0, 0, 1, vec![a])).unwrap();
-        s.add_core(CoreSpec::parent("p2", 1, 1, 0, 0, 1, vec![a])).unwrap();
+        s.add_core(CoreSpec::parent("p1", 1, 1, 0, 0, 1, vec![a]))
+            .unwrap();
+        s.add_core(CoreSpec::parent("p2", 1, 1, 0, 0, 1, vec![a]))
+            .unwrap();
         assert!(matches!(
             s.validate(),
             Err(SocError::MultiplyEmbedded { .. })

@@ -83,7 +83,11 @@ mod tests {
         // Paper §5.2: g12710 core pattern counts 852, 1314, 1223, 1223
         // give normalized stdev 0.18.
         let s = SampleStats::of(&[852, 1314, 1223, 1223]);
-        assert!((s.normalized_stdev() - 0.18).abs() < 0.005, "{}", s.normalized_stdev());
+        assert!(
+            (s.normalized_stdev() - 0.18).abs() < 0.005,
+            "{}",
+            s.normalized_stdev()
+        );
     }
 
     #[test]

@@ -39,12 +39,12 @@ proptest! {
 #[test]
 fn hostile_edge_cases_error_cleanly() {
     for text in [
-        "soc",                       // missing name
-        "soc a\nsoc b",             // duplicate soc line
-        "core a children=a",        // self-embedding
+        "soc",                           // missing name
+        "soc a\nsoc b",                  // duplicate soc line
+        "core a children=a",             // self-embedding
         "core a i=99999999999999999999", // overflow
-        "core a children=",         // empty child name
-        "soc x\ncore a i=3 q",      // stray token
+        "core a children=",              // empty child name
+        "soc x\ncore a i=3 q",           // stray token
     ] {
         let result = parse_soc(text);
         assert!(result.is_err(), "should reject: {text:?}");
@@ -56,5 +56,8 @@ fn hostile_edge_cases_error_cleanly() {
 #[test]
 fn self_embedding_is_cyclic() {
     let err = parse_soc("core a children=a").unwrap_err();
-    assert!(matches!(err, modsoc_soc::SocError::CyclicHierarchy { .. }), "{err}");
+    assert!(
+        matches!(err, modsoc_soc::SocError::CyclicHierarchy { .. }),
+        "{err}"
+    );
 }

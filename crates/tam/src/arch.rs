@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn wider_tam_never_slower() {
-        for arch in [
-            TamArchitecture::Multiplexing,
-            TamArchitecture::Distribution,
-        ] {
+        for arch in [TamArchitecture::Multiplexing, TamArchitecture::Distribution] {
             let mut last = u64::MAX;
             for w in 3..10 {
                 let t = soc_test_time(arch, &cores(), w).unwrap().total_time;

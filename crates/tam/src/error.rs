@@ -38,7 +38,11 @@ impl fmt::Display for TamError {
                 f,
                 "distribution architecture needs width >= cores ({width} < {cores})"
             ),
-            TamError::PowerBudgetTooSmall { core, power, budget } => write!(
+            TamError::PowerBudgetTooSmall {
+                core,
+                power,
+                budget,
+            } => write!(
                 f,
                 "core `{core}` draws {power} alone, over the budget {budget}"
             ),

@@ -184,10 +184,22 @@ mod tests {
         let sweep = WidthSweep {
             architecture: None,
             points: vec![
-                SweepPoint { width: 1, time: 1000 },
-                SweepPoint { width: 2, time: 500 },
-                SweepPoint { width: 3, time: 490 },
-                SweepPoint { width: 4, time: 489 },
+                SweepPoint {
+                    width: 1,
+                    time: 1000,
+                },
+                SweepPoint {
+                    width: 2,
+                    time: 500,
+                },
+                SweepPoint {
+                    width: 3,
+                    time: 490,
+                },
+                SweepPoint {
+                    width: 4,
+                    time: 489,
+                },
             ],
         };
         assert_eq!(sweep.knee(0.05).map(|p| p.width), Some(2));
@@ -212,7 +224,9 @@ mod tests {
         let best = best_at_width(&cores(), 8).unwrap();
         // At width 8 the flexible scheduler should beat the rigid
         // architectures on this imbalanced workload.
-        assert!(best.architecture.is_none() || best.architecture == Some(TamArchitecture::Distribution));
+        assert!(
+            best.architecture.is_none() || best.architecture == Some(TamArchitecture::Distribution)
+        );
     }
 
     #[test]

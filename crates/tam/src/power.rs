@@ -176,10 +176,7 @@ mod tests {
                 WrapperCore::new("a", 8, 8, vec![64, 64]).with_patterns(100),
                 40,
             ),
-            PowerCore::new(
-                WrapperCore::new("b", 4, 4, vec![32]).with_patterns(300),
-                30,
-            ),
+            PowerCore::new(WrapperCore::new("b", 4, 4, vec![32]).with_patterns(300), 30),
             PowerCore::new(
                 WrapperCore::new("c", 16, 2, vec![128, 16]).with_patterns(50),
                 50,
@@ -228,8 +225,16 @@ mod tests {
         for a in &s.entries {
             for b in &s.entries {
                 if a.name < b.name && a.start < b.end && b.start < a.end {
-                    let pa = cs.iter().find(|c| c.core.name == a.name).unwrap().test_power;
-                    let pb = cs.iter().find(|c| c.core.name == b.name).unwrap().test_power;
+                    let pa = cs
+                        .iter()
+                        .find(|c| c.core.name == a.name)
+                        .unwrap()
+                        .test_power;
+                    let pb = cs
+                        .iter()
+                        .find(|c| c.core.name == b.name)
+                        .unwrap()
+                        .test_power;
                     assert!(pa + pb <= 55);
                 }
             }

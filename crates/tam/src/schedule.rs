@@ -155,10 +155,7 @@ pub fn schedule(
 /// # Errors
 ///
 /// Returns [`TamError::ZeroWidth`] or [`TamError::NoCores`].
-pub fn schedule_rectangles(
-    cores: &[WrapperCore],
-    width: usize,
-) -> Result<Schedule, TamError> {
+pub fn schedule_rectangles(cores: &[WrapperCore], width: usize) -> Result<Schedule, TamError> {
     if width == 0 {
         return Err(TamError::ZeroWidth);
     }
@@ -168,9 +165,7 @@ pub fn schedule_rectangles(
     // free_at[w] = time when wire w becomes free.
     let mut free_at = vec![0u64; width];
     let mut order: Vec<usize> = (0..cores.len()).collect();
-    order.sort_by_key(|&i| {
-        std::cmp::Reverse(design_wrapper(&cores[i], 1).test_time_self())
-    });
+    order.sort_by_key(|&i| std::cmp::Reverse(design_wrapper(&cores[i], 1).test_time_self()));
     let mut entries = Vec::with_capacity(cores.len());
     for i in order {
         let core = &cores[i];
@@ -237,11 +232,7 @@ mod tests {
         let w = 6;
         let s = schedule_rectangles(&cores(), w).unwrap();
         // No over-subscription at any event point.
-        let mut events: Vec<u64> = s
-            .entries
-            .iter()
-            .flat_map(|e| [e.start, e.end])
-            .collect();
+        let mut events: Vec<u64> = s.entries.iter().flat_map(|e| [e.start, e.end]).collect();
         events.sort_unstable();
         events.dedup();
         for &t in &events {

@@ -131,13 +131,21 @@ impl WrapperDesign {
     /// Longest scan-in chain.
     #[must_use]
     pub fn max_scan_in(&self) -> usize {
-        self.chains.iter().map(WrapperChain::scan_in_len).max().unwrap_or(0)
+        self.chains
+            .iter()
+            .map(WrapperChain::scan_in_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Longest scan-out chain.
     #[must_use]
     pub fn max_scan_out(&self) -> usize {
-        self.chains.iter().map(WrapperChain::scan_out_len).max().unwrap_or(0)
+        self.chains
+            .iter()
+            .map(WrapperChain::scan_out_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Core test time in TAM clock cycles for `p` patterns (the classic

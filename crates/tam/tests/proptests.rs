@@ -20,9 +20,7 @@ fn arb_core(i: usize) -> impl Strategy<Value = WrapperCore> {
 }
 
 fn arb_cores() -> impl Strategy<Value = Vec<WrapperCore>> {
-    (1usize..6).prop_flat_map(|n| {
-        (0..n).map(arb_core).collect::<Vec<_>>()
-    })
+    (1usize..6).prop_flat_map(|n| (0..n).map(arb_core).collect::<Vec<_>>())
 }
 
 proptest! {

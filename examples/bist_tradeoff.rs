@@ -18,9 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // XOR-rich logic propagates everything and is random-friendly;
     // wide AND/OR cones need specific all-ones/all-zeros excitation and
     // resist random patterns.
-    for (label, xor_fraction, wmin, wmax) in
-        [("random-friendly", 0.5, 4, 8), ("random-resistant", 0.0, 16, 22)]
-    {
+    for (label, xor_fraction, wmin, wmax) in [
+        ("random-friendly", 0.5, 4, 8),
+        ("random-resistant", 0.0, 16, 22),
+    ] {
         let mut profile = CoreProfile::new(label, 24, 8, 12).with_seed(5);
         profile.xor_fraction = xor_fraction;
         profile.hard_cone_fraction = 0.3;
@@ -35,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stimulus_bits = det.pattern_count() * model.input_count();
 
         // BIST flow at a few pattern budgets.
-        println!("== {label} core ({} gates, {} faults) ==", circuit.gate_count(), faults.len());
+        println!(
+            "== {label} core ({} gates, {} faults) ==",
+            circuit.gate_count(),
+            faults.len()
+        );
         println!(
             "deterministic ATE: {} patterns, {:.1}% coverage, {} external stimulus bits",
             det.pattern_count(),

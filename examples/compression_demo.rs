@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // are fully specified and would not compress).
     let result = Atpg::new(AtpgOptions::deterministic_only()).run(&circuit)?;
     let width = result.patterns.width();
-    let care = result.patterns.care_bits() as f64
-        / (result.patterns.len() as f64 * width as f64);
+    let care = result.patterns.care_bits() as f64 / (result.patterns.len() as f64 * width as f64);
     println!(
         "core: {} gates; test set: {} patterns x {} bits, care density {:.1}%",
         circuit.gate_count(),

@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tester log.
     let syndrome = syndrome_of_fault(&circuit, &patterns, secret)?;
-    let failing = syndrome.iter().filter(|o| !o.failing_outputs.is_empty()).count();
-    println!("tester observed {failing} failing patterns of {}", syndrome.len());
+    let failing = syndrome
+        .iter()
+        .filter(|o| !o.failing_outputs.is_empty())
+        .count();
+    println!(
+        "tester observed {failing} failing patterns of {}",
+        syndrome.len()
+    );
 
     // Diagnosis, pattern-level then output-level.
     let coarse = diagnose(&circuit, &syndrome, &candidates)?;
@@ -62,6 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rank_of(&refined, secret).expect("candidate present"),
     );
     let perfect = refined.iter().filter(|c| c.is_perfect()).count();
-    println!("{perfect} candidate(s) perfectly explain the syndrome (equivalence class of the defect)");
+    println!(
+        "{perfect} candidate(s) perfectly explain the syndrome (equivalence class of the defect)"
+    );
     Ok(())
 }

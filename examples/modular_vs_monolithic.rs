@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         experiment.eq2_strict
     );
 
-    println!("\n{}", render_core_table(&experiment.soc, &experiment.analysis));
+    println!(
+        "\n{}",
+        render_core_table(&experiment.soc, &experiment.analysis)
+    );
     println!(
         "verdict: modular testing needs {:.2}x less test data than the monolithic run",
         experiment.analysis.reduction_ratio()

@@ -23,8 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Wrapper design for the biggest core at a few widths.
     let big = cores.iter().max_by_key(|c| c.total_cells()).expect("cores");
-    println!("wrapper design for `{}` ({} cells):", big.name, big.total_cells());
-    println!("{:>6} {:>10} {:>10} {:>12} {:>12}", "width", "scan-in", "scan-out", "test time", "idle/pat");
+    println!(
+        "wrapper design for `{}` ({} cells):",
+        big.name,
+        big.total_cells()
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "width", "scan-in", "scan-out", "test time", "idle/pat"
+    );
     for w in [1, 2, 4, 8, 16] {
         let d = design_wrapper(big, w);
         println!(
@@ -68,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     use modsoc::analysis::tdv::TdvOptions;
     use modsoc::analysis::timecost::time_cost;
     println!("\njoint data-volume / test-time view (p34392):");
-    println!("{:>6} {:>14} {:>14} {:>7}", "width", "modular cyc", "monolith cyc", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>7}",
+        "width", "modular cyc", "monolith cyc", "ratio"
+    );
     for width in [8usize, 16, 32, 64] {
         let tc = time_cost(&soc, &TdvOptions::tables_3_4(), None, width, 8)?;
         println!(

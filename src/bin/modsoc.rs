@@ -1,21 +1,28 @@
 //! The `modsoc` command-line tool.
 //!
 //! ```text
-//! modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F]
-//! modsoc atpg <file.bench> [--dynamic] [--patterns-out FILE] [--verilog-out FILE]
+//! modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
+//! modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+//!                          [--patterns-out FILE] [--verilog-out FILE]
 //! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
 //! modsoc cones <file.bench>
-//! modsoc tdf <file.bench>
+//! modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
 //! modsoc demo <soc1|soc2|p34392|table4>
 //! ```
+//!
+//! Exit codes: `0` complete, `2` partial result on a tripped run budget
+//! or a degraded (`--keep-going`) analysis, `1` error.
 //!
 //! Arguments are deliberately hand-parsed — the workspace's dependency
 //! policy keeps the tree to the approved offline crates.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use modsoc::analysis::report::{fmt_u64, render_core_table, render_survey};
-use modsoc::analysis::{SocTdvAnalysis, TdvOptions};
+use modsoc::analysis::report::{fmt_u64, render_core_table, render_outcome_table, render_survey};
+use modsoc::analysis::runctl::analyze_soc_guarded;
+use modsoc::analysis::tdv::core_tdv_checked;
+use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
 use modsoc::circuitgen::{generate, CoreProfile};
 use modsoc::netlist::bench_format::{parse_bench, write_bench};
@@ -25,10 +32,19 @@ use modsoc::netlist::CircuitStats;
 use modsoc::soc::format::parse_soc;
 use modsoc::soc::itc02;
 
+/// How a subcommand ended when it did not error.
+enum RunStatus {
+    /// Everything ran to completion.
+    Complete,
+    /// A budget tripped or a core degraded; partial output was produced.
+    Partial,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(RunStatus::Complete) => ExitCode::SUCCESS,
+        Ok(RunStatus::Partial) => ExitCode::from(2),
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
@@ -39,14 +55,17 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F]
-  modsoc atpg <file.bench> [--dynamic] [--patterns-out FILE] [--verilog-out FILE]
+  modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
+  modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+                           [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
   modsoc cones <file.bench>
-  modsoc tdf <file.bench>
-  modsoc demo <soc1|soc2|p34392|table4>";
+  modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
+  modsoc demo <soc1|soc2|p34392|table4>
 
-fn run(args: &[String]) -> Result<(), String> {
+exit codes: 0 complete, 2 partial (budget tripped / degraded cores), 1 error";
+
+fn run(args: &[String]) -> Result<RunStatus, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
@@ -81,7 +100,7 @@ fn positional(args: &[String]) -> Option<&str> {
         if a.starts_with("--") {
             skip = !matches!(
                 a.as_str(),
-                "--dynamic" | "--exclude-chip-pins"
+                "--dynamic" | "--exclude-chip-pins" | "--keep-going"
             );
             continue;
         }
@@ -90,12 +109,57 @@ fn positional(args: &[String]) -> Option<&str> {
     None
 }
 
+/// Reject unknown `--flags` and value flags with no following value, so
+/// a typo'd or dangling flag is a hard error rather than a silently
+/// unbudgeted run.
+fn check_flags(args: &[String], bools: &[&str], values: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if values.contains(&a) {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 1,
+                    _ => return Err(format!("{a} requires a value")),
+                }
+            } else if !bools.contains(&a) {
+                return Err(format!("unknown flag `{a}`"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{what} is not a valid number: `{s}`"))
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+/// Build a [`RunBudget`] from the shared `--timeout-ms`,
+/// `--max-patterns` and `--max-backtracks` flags (absent flags leave
+/// that axis unlimited).
+fn budget_from_flags(args: &[String]) -> Result<RunBudget, String> {
+    let mut budget = RunBudget::unlimited();
+    if let Some(ms) = flag_value(args, "--timeout-ms") {
+        let ms: u64 = parse_num(ms, "--timeout-ms")?;
+        budget = budget.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(n) = flag_value(args, "--max-patterns") {
+        budget = budget.with_max_patterns(parse_num(n, "--max-patterns")?);
+    }
+    if let Some(n) = flag_value(args, "--max-backtracks") {
+        budget = budget.with_max_backtracks(parse_num(n, "--max-backtracks")?);
+    }
+    Ok(budget)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--exclude-chip-pins", "--keep-going"],
+        &["--measured-tmono", "--reuse"],
+    )?;
     let path = positional(args).ok_or("analyze needs a .soc file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let soc = parse_soc(&text).map_err(|e| e.to_string())?;
@@ -111,6 +175,49 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         }
         options = options.with_functional_reuse(r);
     }
+    if has_flag(args, "--keep-going") {
+        // Degraded mode: poisoned cores become typed per-core outcomes;
+        // healthy cores still get their rows and the outcome table shows
+        // who failed and why.
+        let completion = analyze_soc_guarded(&soc, &options);
+        println!("{soc}");
+        for row in &completion.result {
+            println!(
+                "{:<16} ISOCOST {:>8}  TDV {:>15}",
+                row.name,
+                row.isocost,
+                fmt_u64(row.volume.total())
+            );
+        }
+        println!();
+        println!("{}", render_outcome_table(&completion.per_core_outcomes));
+        if completion.is_complete() {
+            // Every core is healthy, so the full analysis is valid too.
+            let analysis = SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?;
+            println!(
+                "modular change vs optimistic monolithic: {:+.1}%",
+                analysis.modular_change_pct()
+            );
+            return Ok(RunStatus::Complete);
+        }
+        eprintln!(
+            "warning: {} of {} cores failed; SOC-level totals suppressed",
+            completion.failed_cores().len(),
+            completion.per_core_outcomes.len()
+        );
+        return Ok(RunStatus::Partial);
+    }
+    // Strict mode: a core whose parameters overflow the TDV equations is
+    // a hard error (the saturating equations would silently flatten it).
+    for (id, core) in soc.iter() {
+        if core_tdv_checked(&soc, id, &options).is_none() {
+            return Err(format!(
+                "core `{}` overflows the TDV equations (corrupt counts?); \
+                 rerun with --keep-going to analyze the remaining cores",
+                core.name
+            ));
+        }
+    }
     let analysis = match flag_value(args, "--measured-tmono") {
         Some(t) => {
             let t: u64 = parse_num(t, "--measured-tmono")?;
@@ -125,10 +232,21 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         "modular change vs optimistic monolithic: {:+.1}%",
         analysis.modular_change_pct()
     );
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_atpg(args: &[String]) -> Result<(), String> {
+fn cmd_atpg(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--dynamic"],
+        &[
+            "--timeout-ms",
+            "--max-patterns",
+            "--max-backtracks",
+            "--patterns-out",
+            "--verilog-out",
+        ],
+    )?;
     let path = positional(args).ok_or("atpg needs a .bench file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let name = std::path::Path::new(path)
@@ -138,11 +256,14 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
     let circuit = parse_bench(name, &text).map_err(|e| e.to_string())?;
     println!("{}", CircuitStats::of(&circuit).map_err(|e| e.to_string())?);
 
+    let budget = budget_from_flags(args)?;
     let options = AtpgOptions {
         dynamic_compaction: has_flag(args, "--dynamic"),
         ..AtpgOptions::default()
     };
-    let result = Atpg::new(options).run(&circuit).map_err(|e| e.to_string())?;
+    let result = Atpg::new(options)
+        .run_budgeted(&circuit, &budget)
+        .map_err(|e| e.to_string())?;
     println!(
         "{} patterns, {:.2}% fault coverage ({} classes: {} detected, {} redundant, {} aborted)",
         result.pattern_count(),
@@ -166,10 +287,26 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
         std::fs::write(out, v).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote verilog to {out}");
     }
-    Ok(())
+    if let Some(e) = &result.exhausted {
+        eprintln!("warning: partial result — {e}");
+        return Ok(RunStatus::Partial);
+    }
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &[],
+        &[
+            "--inputs",
+            "--outputs",
+            "--scan",
+            "--seed",
+            "--bench-out",
+            "--verilog-out",
+        ],
+    )?;
     let inputs: usize = parse_num(
         flag_value(args, "--inputs").ok_or("--inputs is required")?,
         "--inputs",
@@ -202,10 +339,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         std::fs::write(out, v).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote verilog to {out}");
     }
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_cones(args: &[String]) -> Result<(), String> {
+fn cmd_cones(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(args, &[], &[])?;
     let path = positional(args).ok_or("cones needs a .bench file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let circuit = parse_bench("c", &text).map_err(|e| e.to_string())?;
@@ -224,14 +362,26 @@ fn cmd_cones(args: &[String]) -> Result<(), String> {
         cones.overlapping_pairs(),
         cones.overlap_fraction()
     );
-    Ok(())
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_tdf(args: &[String]) -> Result<(), String> {
+fn cmd_tdf(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &[],
+        &["--timeout-ms", "--max-backtracks", "--patterns-out"],
+    )?;
     let path = positional(args).ok_or("tdf needs a .bench file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let circuit = parse_bench("circuit", &text).map_err(|e| e.to_string())?;
-    let result = modsoc::atpg::tdf::run_tdf_atpg(&circuit, 400).map_err(|e| e.to_string())?;
+    let budget = budget_from_flags(args)?;
+    let result = modsoc::atpg::tdf::run_tdf_atpg_budgeted(
+        &circuit,
+        400,
+        modsoc::atpg::tdf::LaunchScheme::Capture,
+        &budget,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "transition faults: {} total, {} detected, {} LOC-untestable, {} aborted",
         result.total, result.detected, result.untestable, result.aborted
@@ -246,10 +396,15 @@ fn cmd_tdf(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote patterns to {out}");
     }
-    Ok(())
+    if let Some(e) = &result.exhausted {
+        eprintln!("warning: partial result — {e}");
+        return Ok(RunStatus::Partial);
+    }
+    Ok(RunStatus::Complete)
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_demo(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(args, &[], &[])?;
     match positional(args) {
         Some("soc1") => {
             let soc = itc02::soc1();
@@ -298,5 +453,5 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
             ))
         }
     }
-    Ok(())
+    Ok(RunStatus::Complete)
 }

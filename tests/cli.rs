@@ -54,14 +54,24 @@ fn generate_atpg_analyze_pipeline() {
     // generate
     let out = modsoc(&[
         "generate",
-        "--inputs", "6",
-        "--outputs", "3",
-        "--scan", "4",
-        "--seed", "11",
-        "--bench-out", bench.to_str().expect("utf8 path"),
-        "--verilog-out", verilog.to_str().expect("utf8 path"),
+        "--inputs",
+        "6",
+        "--outputs",
+        "3",
+        "--scan",
+        "4",
+        "--seed",
+        "11",
+        "--bench-out",
+        bench.to_str().expect("utf8 path"),
+        "--verilog-out",
+        verilog.to_str().expect("utf8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(bench.exists() && verilog.exists());
 
     // atpg over the generated bench
@@ -69,9 +79,14 @@ fn generate_atpg_analyze_pipeline() {
         "atpg",
         bench.to_str().expect("utf8 path"),
         "--dynamic",
-        "--patterns-out", patterns.to_str().expect("utf8 path"),
+        "--patterns-out",
+        patterns.to_str().expect("utf8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fault coverage"), "{text}");
     let pat_text = std::fs::read_to_string(&patterns).expect("patterns written");
@@ -91,8 +106,17 @@ fn generate_atpg_analyze_pipeline() {
         "soc demo\ncore top i=8 o=4 s=0 t=2 children=a\ncore a i=4 o=2 s=16 t=40\n",
     )
     .expect("write soc");
-    let out = modsoc(&["analyze", soc_path.to_str().expect("utf8 path"), "--reuse", "0.5"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = modsoc(&[
+        "analyze",
+        soc_path.to_str().expect("utf8 path"),
+        "--reuse",
+        "0.5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("modular change"));
 
     std::fs::remove_dir_all(&dir).ok();
@@ -104,4 +128,180 @@ fn analyze_rejects_bad_flags() {
     assert!(!out.status.success());
     let out = modsoc(&["atpg", "/nonexistent.bench"]);
     assert!(!out.status.success());
+}
+
+/// Write a small generated bench into a fresh temp dir; returns
+/// `(dir, bench_path)`.
+fn generated_bench(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bench = dir.join("core.bench");
+    let out = modsoc(&[
+        "generate",
+        "--inputs",
+        "8",
+        "--outputs",
+        "4",
+        "--scan",
+        "6",
+        "--seed",
+        "7",
+        "--bench-out",
+        bench.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (dir, bench)
+}
+
+#[test]
+fn atpg_timeout_zero_is_immediate_partial_with_exit_2() {
+    let (dir, bench) = generated_bench("t0");
+    let started = std::time::Instant::now();
+    let out = modsoc(&[
+        "atpg",
+        bench.to_str().expect("utf8 path"),
+        "--timeout-ms",
+        "0",
+    ]);
+    // The run must come back essentially immediately (allow generous
+    // slack for process startup on a loaded machine).
+    assert!(started.elapsed() < std::time::Duration::from_secs(10));
+    assert_eq!(out.status.code(), Some(2), "partial exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("partial"), "{err}");
+    assert!(err.contains("deadline"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn atpg_pattern_cap_returns_partial_with_exit_2() {
+    let (dir, bench) = generated_bench("cap");
+    let out = modsoc(&[
+        "atpg",
+        bench.to_str().expect("utf8 path"),
+        "--max-patterns",
+        "1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pattern cap"));
+    // The uncapped run over the same bench completes with exit 0.
+    let out = modsoc(&["atpg", bench.to_str().expect("utf8 path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_poisoned_core_errors_strict_but_degrades_with_keep_going() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_kg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let soc_path = dir.join("poisoned.soc");
+    std::fs::write(
+        &soc_path,
+        "soc mixed\n\
+         core good_a i=4 o=3 s=20 t=100\n\
+         core poisoned i=1 o=1 s=18446744073709551615 t=18446744073709551615\n\
+         core good_b i=2 o=2 s=10 t=50\n",
+    )
+    .expect("write soc");
+    let path = soc_path.to_str().expect("utf8 path");
+
+    // Strict mode: hard error, exit 1.
+    let out = modsoc(&["analyze", path]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overflow"), "{err}");
+    assert!(err.contains("--keep-going"), "{err}");
+
+    // Degraded mode: healthy cores still get rows, the poisoned core a
+    // typed FAILED outcome, exit 2.
+    let out = modsoc(&["analyze", path, "--keep-going"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("good_a"), "{text}");
+    assert!(text.contains("good_b"), "{text}");
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("overflow"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_keep_going_on_healthy_soc_exits_0() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_kg0_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let soc_path = dir.join("ok.soc");
+    std::fs::write(
+        &soc_path,
+        "soc demo\ncore top i=8 o=4 s=0 t=2 children=a\ncore a i=4 o=2 s=16 t=40\n",
+    )
+    .expect("write soc");
+    let out = modsoc(&[
+        "analyze",
+        soc_path.to_str().expect("utf8 path"),
+        "--keep-going",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok"), "{text}");
+    assert!(text.contains("modular change"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_budget_flag_values_are_errors() {
+    let (dir, bench) = generated_bench("badflag");
+    let out = modsoc(&[
+        "atpg",
+        bench.to_str().expect("utf8 path"),
+        "--timeout-ms",
+        "never",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--timeout-ms"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_and_dangling_flags_are_errors() {
+    let (dir, bench) = generated_bench("strictflags");
+    let path = bench.to_str().expect("utf8 path");
+
+    // A typo'd flag must not silently run unbudgeted.
+    let out = modsoc(&["atpg", path, "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
+
+    // A value flag with no value is an error, not a no-op.
+    let out = modsoc(&["atpg", path, "--timeout-ms"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+
+    // Same when the "value" is actually the next flag.
+    let out = modsoc(&["atpg", path, "--timeout-ms", "--dynamic"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,100 @@
+//! Parser robustness properties: arbitrary byte-level mutations of
+//! valid `.bench` and `.soc` sources must never panic the parsers —
+//! every input either parses or is rejected with a typed error whose
+//! `Display` also does not panic.
+
+use proptest::prelude::*;
+
+use modsoc::netlist::bench_format::parse_bench;
+use modsoc::soc::format::parse_soc;
+
+const BASE_BENCH: &str = "# fuzz base
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(q)
+f1 = DFF(n2)
+n1 = NAND(a, b)
+n2 = NOR(b, c)
+y = AND(n1, n2)
+q = OR(f1, a)
+";
+
+const BASE_SOC: &str = "# fuzz base
+soc fuzz
+core top i=8 o=4 b=1 s=0 t=2 children=a,b
+core a i=4 o=2 b=0 s=16 t=40
+core b i=2 o=2 b=0 s=8 t=90
+";
+
+/// Apply `(offset, mutation)` pairs to the base bytes: each mutation
+/// XORs a byte, deletes it, or inserts a raw byte before it. The result
+/// is deliberately NOT re-validated as UTF-8 — the parsers take `&str`,
+/// so we recover a string lossily, which is exactly what a CLI reading a
+/// corrupted file would hand them.
+fn mutate(base: &str, edits: &[(usize, u8, u8)]) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    for &(offset, op, payload) in edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = offset % bytes.len();
+        match op % 3 {
+            0 => bytes[at] ^= payload,
+            1 => {
+                bytes.remove(at);
+            }
+            _ => bytes.insert(at, payload),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn mutated_bench_never_panics_parser(
+        edits in collection::vec((0usize..4096, 0u8..=255, 0u8..=255), 1..24)
+    ) {
+        let source = mutate(BASE_BENCH, &edits);
+        match parse_bench("fuzz", &source) {
+            Ok(circuit) => {
+                // A surviving parse must produce an internally
+                // consistent circuit.
+                circuit.validate().expect("parsed circuits validate");
+            }
+            Err(err) => {
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_soc_never_panics_parser(
+        edits in collection::vec((0usize..4096, 0u8..=255, 0u8..=255), 1..24)
+    ) {
+        let source = mutate(BASE_SOC, &edits);
+        match parse_soc(&source) {
+            Ok(soc) => {
+                soc.validate().expect("parsed socs validate");
+            }
+            Err(err) => {
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic_parsers(cut in 0usize..512) {
+        let bench = &BASE_BENCH[..cut.min(BASE_BENCH.len())];
+        if let Ok(c) = parse_bench("trunc", bench) {
+            c.validate().expect("valid");
+        }
+        let soc = &BASE_SOC[..cut.min(BASE_SOC.len())];
+        if let Ok(s) = parse_soc(soc) {
+            s.validate().expect("valid");
+        }
+    }
+}

@@ -1,6 +1,9 @@
 //! Integration: the full live pipeline across all crates.
 
-use modsoc::analysis::experiment::{run_soc_experiment, ExperimentOptions};
+use modsoc::analysis::experiment::{
+    run_soc_experiment, run_soc_experiment_guarded, ExperimentOptions,
+};
+use modsoc::analysis::RunBudget;
 use modsoc::atpg::fault::enumerate_faults;
 use modsoc::atpg::fault_sim::fault_coverage;
 use modsoc::atpg::{Atpg, AtpgOptions};
@@ -14,8 +17,15 @@ fn generate_atpg_verify_coverage_independently() {
     // the uncollapsed universe.
     let profile = CoreProfile::new("verify", 12, 6, 10).with_seed(17);
     let circuit = generate(&profile).expect("generates");
-    let result = Atpg::new(AtpgOptions::default()).run(&circuit).expect("atpg");
-    let model = result.test_model.as_ref().expect("sequential model").circuit.clone();
+    let result = Atpg::new(AtpgOptions::default())
+        .run(&circuit)
+        .expect("atpg");
+    let model = result
+        .test_model
+        .as_ref()
+        .expect("sequential model")
+        .circuit
+        .clone();
     let filled = result.patterns.fill_all(result.fill);
     let universe = enumerate_faults(&model);
     let cov = fault_coverage(&model, &filled, &universe).expect("sim");
@@ -31,8 +41,8 @@ fn generate_atpg_verify_coverage_independently() {
 #[test]
 fn mini_soc_experiment_reduction_and_identity() {
     let netlist = mini_soc(7).expect("builds");
-    let exp = run_soc_experiment(&netlist, &ExperimentOptions::paper_tables_1_2())
-        .expect("experiment");
+    let exp =
+        run_soc_experiment(&netlist, &ExperimentOptions::paper_tables_1_2()).expect("experiment");
     let a = &exp.analysis;
     // Equation 6 balances exactly with the exact benefit.
     assert_eq!(
@@ -95,4 +105,50 @@ fn wrapped_core_tdv_matches_equation_4() {
     // once the functional ports are counted once each.
     let bits_per_pattern = 2 * model.scan_cell_count();
     assert_eq!(bits_per_pattern, 2 * s + 2 * isocost);
+}
+
+#[test]
+fn guarded_experiment_with_unlimited_budget_matches_plain() {
+    let netlist = mini_soc(7).expect("builds");
+    let options = ExperimentOptions::paper_tables_1_2();
+    let plain = run_soc_experiment(&netlist, &options).expect("plain");
+    let guarded =
+        run_soc_experiment_guarded(&netlist, &options, &RunBudget::unlimited()).expect("guarded");
+    assert!(guarded.is_complete(), "{:?}", guarded.per_core_outcomes);
+    assert_eq!(guarded.result.t_mono, plain.t_mono);
+    assert_eq!(
+        guarded.result.analysis.modular().total(),
+        plain.analysis.modular().total()
+    );
+    // One outcome per leaf core plus the monolithic pseudo-stage (the
+    // assembled SOC also carries a synthetic `top` parent, so the two
+    // counts coincide).
+    assert_eq!(
+        guarded.per_core_outcomes.len(),
+        guarded.result.soc.core_count()
+    );
+    assert!(guarded
+        .per_core_outcomes
+        .iter()
+        .any(|o| o.core == "<monolithic>"));
+}
+
+#[test]
+fn guarded_experiment_under_tight_budget_still_yields_rows() {
+    // A pattern cap small enough to trip mid-run must still come back
+    // with an analysis (partial pattern counts) and per-core outcomes,
+    // not an error.
+    let netlist = mini_soc(5).expect("builds");
+    let options = ExperimentOptions::paper_tables_1_2();
+    let budget = RunBudget::unlimited().with_max_patterns(2);
+    let guarded = run_soc_experiment_guarded(&netlist, &options, &budget).expect("guarded");
+    assert!(!guarded.is_complete());
+    assert!(guarded.exhausted.is_some());
+    assert_eq!(
+        guarded.result.soc.core_count(),
+        guarded.result.analysis.rows().len()
+    );
+    for outcome in &guarded.per_core_outcomes {
+        assert!(outcome.contributed(), "{outcome:?}");
+    }
 }

@@ -2,18 +2,15 @@
 
 use proptest::prelude::*;
 
-use modsoc::analysis::tdv::{
-    benefit_exact, modular_tdv, monolithic_tdv, penalty, TdvOptions,
-};
-use modsoc::analysis::{SocTdvAnalysis};
+use modsoc::analysis::tdv::{benefit_exact, modular_tdv, monolithic_tdv, penalty, TdvOptions};
+use modsoc::analysis::SocTdvAnalysis;
 use modsoc::atpg::{Bit, TestCube};
 use modsoc::soc::format::{parse_soc, write_soc};
 use modsoc::soc::{CoreSpec, Soc};
 
 fn arb_core(name: String) -> impl Strategy<Value = CoreSpec> {
-    (0u64..200, 0u64..200, 0u64..20, 0u64..5000, 1u64..10_000).prop_map(
-        move |(i, o, b, s, t)| CoreSpec::leaf(name.clone(), i, o, b, s, t),
-    )
+    (0u64..200, 0u64..200, 0u64..20, 0u64..5000, 1u64..10_000)
+        .prop_map(move |(i, o, b, s, t)| CoreSpec::leaf(name.clone(), i, o, b, s, t))
 }
 
 fn arb_soc() -> impl Strategy<Value = Soc> {

@@ -18,7 +18,9 @@ use modsoc::netlist::sim::Simulator;
 fn serial_replay_matches_test_model_predictions() {
     let profile = CoreProfile::new("replay", 8, 5, 12).with_seed(21);
     let circuit = generate(&profile).expect("generates");
-    let result = Atpg::new(AtpgOptions::default()).run(&circuit).expect("atpg");
+    let result = Atpg::new(AtpgOptions::default())
+        .run(&circuit)
+        .expect("atpg");
     let model = result.test_model.as_ref().expect("sequential circuit");
 
     // Predict responses with the combinational model.
@@ -62,10 +64,7 @@ fn serial_replay_matches_test_model_predictions() {
             let want = predicted[i] & 1 == 1;
             match out {
                 TestPoint::Primary(_) => {
-                    assert_eq!(
-                        response.outputs[i], want,
-                        "pattern {k}: PO {i} mismatch"
-                    );
+                    assert_eq!(response.outputs[i], want, "pattern {k}: PO {i} mismatch");
                 }
                 TestPoint::ScanCell(ff) => {
                     // Find which chain/position holds this ff.
@@ -73,9 +72,7 @@ fn serial_replay_matches_test_model_predictions() {
                         .chains()
                         .iter()
                         .enumerate()
-                        .find_map(|(ci, chain)| {
-                            chain.iter().position(|f| f == ff).map(|p| (ci, p))
-                        })
+                        .find_map(|(ci, chain)| chain.iter().position(|f| f == ff).map(|p| (ci, p)))
                         .expect("ff is on a chain");
                     assert_eq!(
                         response.captured[ci][pi_pos], want,
@@ -106,7 +103,9 @@ fn replay_detects_an_injected_fault() {
     let mut swapped = false;
     let mut map: Vec<Option<modsoc::netlist::NodeId>> = vec![None; good.node_count()];
     for &ff in good.dffs() {
-        let id = bad.add_dff_deferred(good.node(ff).name.clone()).expect("dff");
+        let id = bad
+            .add_dff_deferred(good.node(ff).name.clone())
+            .expect("dff");
         map[ff.index()] = Some(id);
     }
     for id in good.topo_order().expect("order") {

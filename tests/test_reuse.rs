@@ -50,7 +50,10 @@ fn wrapped_core_captures_are_environment_independent() {
 
     // A deterministic pseudo-random scan state for core 0's cells.
     let core0_state = |name: &str| -> bool {
-        name.bytes().fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b.into())) % 3 == 0
+        name.bytes()
+            .fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b.into()))
+            % 3
+            == 0
     };
 
     // Stand-alone: core 0 wrapped, ports at 0.
@@ -64,9 +67,9 @@ fn wrapped_core_captures_are_environment_independent() {
                 core0_state(suffix)
             } else {
                 // Arbitrary junk for neighbours.
-                name.bytes().fold(junk_seed, |a, b| {
-                    a.wrapping_mul(17).wrapping_add(b.into())
-                }) % 2
+                name.bytes()
+                    .fold(junk_seed, |a, b| a.wrapping_mul(17).wrapping_add(b.into()))
+                    % 2
                     == 0
             }
         };
@@ -98,7 +101,10 @@ fn unwrapped_core_captures_do_depend_on_environment() {
     let flat = soc.flatten().expect("flattens");
 
     let state = |name: &str| -> bool {
-        name.bytes().fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b.into())) % 3 == 0
+        name.bytes()
+            .fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b.into()))
+            % 3
+            == 0
     };
     let a = capture_by_name(&flat, false, &state);
     let b = capture_by_name(&flat, true, &state);
@@ -106,7 +112,10 @@ fn unwrapped_core_captures_do_depend_on_environment() {
     let changed = a
         .iter()
         .any(|(name, &v)| b.get(name) != Some(&v) && name.starts_with("c0."));
-    assert!(changed, "flipping chip inputs should disturb unwrapped captures");
+    assert!(
+        changed,
+        "flipping chip inputs should disturb unwrapped captures"
+    );
 }
 
 #[test]

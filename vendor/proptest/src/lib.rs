@@ -1,0 +1,741 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple and `Vec` strategies,
+//! [`collection::vec`], [`prelude::ProptestConfig`], and the
+//! [`proptest!`]/[`prop_assert!`] macros.
+//!
+//! Differences from upstream:
+//!
+//! * **No shrinking.** A failing case panics with the standard assert
+//!   message; the inputs are deterministic per test name and case index,
+//!   so a failure reproduces exactly by re-running the test.
+//! * **Deterministic by default.** The per-test RNG stream is seeded
+//!   from the test's name (FNV-1a), optionally XOR-ed with
+//!   `PROPTEST_SEED` from the environment. CI runs are therefore
+//!   reproducible with no extra configuration.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from arbitrary bytes (usually the test name), XOR-ed
+    /// with the `PROPTEST_SEED` environment variable when set.
+    #[must_use]
+    pub fn deterministic(key: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.trim().parse::<u64>() {
+                h ^= seed;
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of test values.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this subset collapses them into direct generation.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the strategy type (compatibility shim; upstream returns a
+    /// `BoxedStrategy`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (subset of upstream's
+/// `Arbitrary`): uniform over the full value range.
+pub trait Arbitrary: Sized {
+    /// Draw one uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` (upstream's `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String generation from a regex pattern (upstream implements
+/// `Strategy` for `&str` via `regex-syntax`; this is a hand-rolled
+/// generator for the subset the workspace's properties use: literals,
+/// `\`-escapes, `.`, `[a-z0-9_]`-style classes, groups with `|`
+/// alternation, and the `?`/`*`/`+`/`{m}`/`{m,n}` repetitions).
+mod string_gen {
+    use super::TestRng;
+
+    enum Node {
+        Alt(Vec<Node>),
+        Seq(Vec<Node>),
+        Repeat(Box<Node>, usize, usize),
+        Literal(char),
+        Dot,
+        Class(Vec<(char, char)>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, pos) = parse_alt(&chars, 0);
+        assert_eq!(
+            pos,
+            chars.len(),
+            "unsupported trailing syntax in regex `{pattern}`"
+        );
+        let mut out = String::new();
+        emit(&node, rng, &mut out);
+        out
+    }
+
+    fn parse_alt(s: &[char], mut pos: usize) -> (Node, usize) {
+        let mut branches = Vec::new();
+        let (first, p) = parse_seq(s, pos);
+        pos = p;
+        branches.push(first);
+        while pos < s.len() && s[pos] == '|' {
+            let (next, p) = parse_seq(s, pos + 1);
+            pos = p;
+            branches.push(next);
+        }
+        if branches.len() == 1 {
+            (branches.pop().expect("one branch"), pos)
+        } else {
+            (Node::Alt(branches), pos)
+        }
+    }
+
+    fn parse_seq(s: &[char], mut pos: usize) -> (Node, usize) {
+        let mut items = Vec::new();
+        while pos < s.len() && s[pos] != '|' && s[pos] != ')' {
+            let (atom, p) = parse_atom(s, pos);
+            pos = p;
+            // Optional repetition suffix.
+            let (lo, hi, p) = parse_repeat(s, pos);
+            pos = p;
+            if (lo, hi) == (1, 1) {
+                items.push(atom);
+            } else {
+                items.push(Node::Repeat(Box::new(atom), lo, hi));
+            }
+        }
+        (Node::Seq(items), pos)
+    }
+
+    fn parse_repeat(s: &[char], pos: usize) -> (usize, usize, usize) {
+        match s.get(pos) {
+            Some('?') => (0, 1, pos + 1),
+            Some('*') => (0, 8, pos + 1),
+            Some('+') => (1, 8, pos + 1),
+            Some('{') => {
+                let close = s[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|i| pos + i)
+                    .expect("unterminated `{` in regex");
+                let body: String = s[pos + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    None => {
+                        let n = body.parse().expect("numeric repeat count");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().expect("numeric repeat lower bound"),
+                        hi.parse().expect("numeric repeat upper bound"),
+                    ),
+                };
+                (lo, hi, close + 1)
+            }
+            _ => (1, 1, pos),
+        }
+    }
+
+    fn parse_atom(s: &[char], pos: usize) -> (Node, usize) {
+        match s[pos] {
+            '\\' => {
+                let c = *s.get(pos + 1).expect("dangling `\\` in regex");
+                let node = match c {
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    other => Node::Literal(other),
+                };
+                (node, pos + 2)
+            }
+            '.' => (Node::Dot, pos + 1),
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut i = pos + 1;
+                while i < s.len() && s[i] != ']' {
+                    let c = if s[i] == '\\' {
+                        i += 1;
+                        s[i]
+                    } else {
+                        s[i]
+                    };
+                    if s.get(i + 1) == Some(&'-') && s.get(i + 2).is_some_and(|&e| e != ']') {
+                        ranges.push((c, s[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < s.len(), "unterminated `[` in regex");
+                (Node::Class(ranges), i + 1)
+            }
+            '(' => {
+                let (inner, p) = parse_alt(s, pos + 1);
+                assert_eq!(s.get(p), Some(&')'), "unterminated `(` in regex");
+                (inner, p + 1)
+            }
+            other => (Node::Literal(other), pos + 1),
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                emit(&branches[pick], rng, out);
+            }
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Dot => {
+                // Mostly printable ASCII with an occasional awkward
+                // character (upstream `.` is any char but newline).
+                if rng.below(10) == 0 {
+                    const POOL: &[char] = &['\t', '\0', '\u{7F}', 'é', 'λ', '\u{FFFD}', '🦀'];
+                    out.push(POOL[rng.below(POOL.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii"));
+                }
+            }
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32) - (lo as u32) + 1;
+                out.push(
+                    char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                        .expect("class range"),
+                );
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string_gen::generate(self, rng)
+    }
+}
+
+/// See [`prop_oneof!`]: picks uniformly among boxed strategies.
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "empty prop_oneof");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Pick uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 uniform mantissa bits -> [0, 1), scaled to the range.
+                let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (frac as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let frac = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (frac as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length bound for [`vec`]: built from `a..b` or `a..=b`
+    /// (upstream's `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                start: r.start,
+                end_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                start: *r.start(),
+                end_excl: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                start: n,
+                end_excl: n + 1,
+            }
+        }
+    }
+
+    /// A `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.start < size.end_excl, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end_excl - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Why a property case did not pass (subset of upstream).
+///
+/// Bodies may `return Ok(())` to accept a case early or
+/// `Err(TestCaseError::reject(..))` to discard it; the runner treats a
+/// rejected case as skipped, not failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The generated input was infeasible; try the next case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (input discarded, not a failure).
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Test-runner configuration (subset: case count).
+pub mod test_runner {
+    pub use super::{TestCaseError, TestRng};
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, BoxedStrategy, Just, Strategy, TestCaseError, Union};
+}
+
+/// Assert a condition inside a property (panics on failure; upstream
+/// records and shrinks instead).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(x in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Mirror upstream: the body runs as a
+                // `Result<(), TestCaseError>` function so it may
+                // `return Ok(())` (accept) or reject a case early.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err($crate::TestCaseError::Fail(msg)) = __outcome {
+                    panic!("property {} failed on case {}: {}", stringify!($name), __case, msg);
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::deterministic("t");
+        for _ in 0..200 {
+            let v = (1usize..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let (a, b) = ((0u8..3), (10u64..=12)).generate(&mut rng);
+            assert!(a < 3 && (10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map() {
+        let mut rng = crate::TestRng::deterministic("m");
+        let s = (1usize..4).prop_flat_map(|n| {
+            let elems: Vec<_> = (0..n).map(|_| 0u8..10).collect();
+            (elems, 100u64..200)
+        });
+        for _ in 0..100 {
+            let (v, k) = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+            assert!((100..200).contains(&k));
+        }
+        let doubled = (0u64..4).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            assert!(doubled.generate(&mut rng) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut rng = crate::TestRng::deterministic("v");
+        let s = collection::vec(0u8..3, 1..40);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_runs(x in 0u64..100, ys in collection::vec(0u8..3, 1..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(!ys.is_empty());
+            prop_assert_eq!(ys.len().min(4), ys.len());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` features are opt-in and no crate enables them
+//! by default; this stub exists solely so dependency resolution succeeds
+//! without network access. Enabling a `serde` feature on a workspace
+//! crate requires replacing this stub with the real `serde` (the derive
+//! attribute paths are kept compatible: `serde::Serialize`,
+//! `serde::Deserialize`).
+
+#![forbid(unsafe_code)]

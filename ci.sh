@@ -19,4 +19,17 @@ echo "== chaos suite (fixed seed)"
 # vendored proptest streams on top so the whole gate is reproducible.
 PROPTEST_SEED=20080310 cargo test -q --test chaos --test parser_fuzz
 
+echo "== parallel determinism gate (--jobs 1 vs --jobs 4)"
+# The worker pool's contract: reports are byte-identical at any --jobs
+# value. Diverging output here means an order-dependent merge crept in.
+cargo build -q --release --bin modsoc
+./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 1 > /tmp/modsoc_jobs1.txt
+./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 4 > /tmp/modsoc_jobs4.txt
+diff /tmp/modsoc_jobs1.txt /tmp/modsoc_jobs4.txt \
+  || { echo "FAIL: analyze output diverges between --jobs 1 and --jobs 4"; exit 1; }
+./target/release/modsoc experiment mini --jobs 1 > /tmp/modsoc_exp1.txt
+./target/release/modsoc experiment mini --jobs 4 > /tmp/modsoc_exp4.txt
+diff /tmp/modsoc_exp1.txt /tmp/modsoc_exp4.txt \
+  || { echo "FAIL: experiment output diverges between --jobs 1 and --jobs 4"; exit 1; }
+
 echo "CI gate passed."

@@ -10,7 +10,7 @@ use modsoc_netlist::Circuit;
 
 use crate::error::AtpgError;
 use crate::fault::Fault;
-use crate::fault_sim::FaultSimulator;
+use crate::fault_sim::{active_mask, FaultSimulator};
 
 /// The observed behaviour of one applied pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,7 +161,7 @@ pub fn syndrome_of_fault(
     let mut observations = Vec::with_capacity(patterns.len());
     for chunk in patterns.chunks(64) {
         let (good, n) = fsim.good_values(chunk)?;
-        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let active = active_mask(n);
         let per_output = fsim.output_detection_masks(&good, active, actual_fault);
         for (slot, pattern) in chunk.iter().enumerate() {
             let failing: Vec<usize> = per_output
@@ -206,7 +206,7 @@ pub fn diagnose_with_outputs(
         let mut alarms = 0;
         for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
             let (good, n) = fsim.good_values(chunk)?;
-            let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let active = active_mask(n);
             let per_output = fsim.output_detection_masks(&good, active, fault);
             for slot in 0..n {
                 let obs = &observations[chunk_idx * 64 + slot];

@@ -20,11 +20,42 @@ use crate::fault::{Fault, FaultSite};
 /// far cheaper, so polling every fault would dominate small cones).
 pub const BUDGET_POLL_STRIDE: usize = 256;
 
+/// Resolve a job-count request: `0` means "all available hardware
+/// threads" (1 when detection fails); anything else is used as given.
+#[must_use]
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Mask of the valid pattern slots for a batch of `n` patterns: the low
+/// `n` bits set, saturating at the full word for `n >= 64`.
+///
+/// This is the *one* place the `n == 64` shift-overflow special case
+/// lives; every `chunks(64)` tail in the fault-sim/diagnosis/TDF paths
+/// must come through here rather than hand-rolling `(1 << n) - 1`.
+#[must_use]
+pub fn active_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// A fault simulator bound to one combinational circuit.
 ///
 /// Holds reusable scratch buffers; create once and call
-/// [`FaultSimulator::detection_masks`] per 64-pattern batch.
-#[derive(Debug)]
+/// [`FaultSimulator::detection_masks`] per 64-pattern batch. `Clone` is
+/// cheap relative to [`FaultSimulator::new`] (the topological order and
+/// fanout lists are copied, not recomputed), which is how the sharded
+/// entry points hand each worker thread its own simulator.
+#[derive(Debug, Clone)]
 pub struct FaultSimulator<'a> {
     circuit: &'a Circuit,
     sim: Simulator,
@@ -218,7 +249,7 @@ impl<'a> FaultSimulator<'a> {
         faults: &[Fault],
     ) -> Result<Vec<u64>, AtpgError> {
         let (good, n) = self.good_values(patterns)?;
-        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let active = active_mask(n);
         Ok(faults
             .iter()
             .map(|&f| self.detection_mask(&good, active, f))
@@ -242,7 +273,7 @@ impl<'a> FaultSimulator<'a> {
         budget: &RunBudget,
     ) -> Result<(Vec<u64>, Option<ExhaustReason>), AtpgError> {
         let (good, n) = self.good_values(patterns)?;
-        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let active = active_mask(n);
         let mut masks = vec![0u64; faults.len()];
         for (i, &f) in faults.iter().enumerate() {
             if i % BUDGET_POLL_STRIDE == 0 {
@@ -318,6 +349,48 @@ pub fn fault_coverage(
     Ok(detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64)
 }
 
+/// Shard `faults` into contiguous runs across `jobs` OS threads, each
+/// worker owning a clone of one prototype simulator, and concatenate the
+/// per-shard results **in fault order**. Because faults are independent,
+/// the merged output is identical to running `per_shard` once over the
+/// whole list — the parallel split is invisible in the results.
+///
+/// A worker panic is re-raised on the calling thread after the scope
+/// joins (payload preserved).
+fn run_sharded<T: Send>(
+    circuit: &Circuit,
+    faults: &[Fault],
+    jobs: usize,
+    per_shard: impl Fn(&mut FaultSimulator<'_>, &[Fault]) -> Result<Vec<T>, AtpgError> + Sync,
+) -> Result<Vec<T>, AtpgError> {
+    let jobs = jobs.max(1);
+    let mut proto = FaultSimulator::new(circuit)?;
+    if jobs == 1 || faults.len() < 2 * jobs {
+        return per_shard(&mut proto, faults);
+    }
+    let chunk_len = faults.len().div_ceil(jobs);
+    let results: Vec<Result<Vec<T>, AtpgError>> = std::thread::scope(|scope| {
+        let proto = &proto;
+        let per_shard = &per_shard;
+        let handles: Vec<_> = faults
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || per_shard(&mut proto.clone(), chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(faults.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
 /// Per-fault *detection counts* of a pattern set: how many patterns
 /// detect each fault. The industrial n-detect quality metric — faults
 /// detected only once are fragile against timing/bridging defect
@@ -331,15 +404,61 @@ pub fn detection_counts(
     patterns: &[Vec<bool>],
     faults: &[Fault],
 ) -> Result<Vec<u32>, AtpgError> {
-    let mut fsim = FaultSimulator::new(circuit)?;
-    let mut counts = vec![0u32; faults.len()];
-    for chunk in patterns.chunks(64) {
-        let masks = fsim.detection_masks(chunk, faults)?;
-        for (c, m) in counts.iter_mut().zip(masks) {
-            *c += m.count_ones();
+    detection_counts_threaded(circuit, patterns, faults, 1)
+}
+
+/// [`detection_counts`] with the collapsed fault list sharded across
+/// `jobs` OS threads (each worker owns a [`FaultSimulator`] clone).
+/// The order-preserving merge makes the result identical to the serial
+/// run at any `jobs` value.
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detection_counts_threaded(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+) -> Result<Vec<u32>, AtpgError> {
+    run_sharded(circuit, faults, jobs, |fsim, shard| {
+        let mut counts = vec![0u32; shard.len()];
+        for chunk in patterns.chunks(64) {
+            let masks = fsim.detection_masks(chunk, shard)?;
+            for (c, m) in counts.iter_mut().zip(masks) {
+                *c += m.count_ones();
+            }
         }
-    }
-    Ok(counts)
+        Ok(counts)
+    })
+}
+
+/// Which faults the pattern set detects at all: the boolean reduction of
+/// [`detection_counts_threaded`], sharded the same way. This is the
+/// engine's final-accounting primitive (`detected[i]` ⇔ some pattern
+/// flips some output under fault `i`).
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detected_faults(
+    circuit: &Circuit,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+) -> Result<Vec<bool>, AtpgError> {
+    run_sharded(circuit, faults, jobs, |fsim, shard| {
+        let mut detected = vec![false; shard.len()];
+        for chunk in patterns.chunks(64) {
+            let masks = fsim.detection_masks(chunk, shard)?;
+            for (d, m) in detected.iter_mut().zip(masks) {
+                if m != 0 {
+                    *d = true;
+                }
+            }
+        }
+        Ok(detected)
+    })
 }
 
 /// Detection masks for a whole fault list against one ≤64-pattern batch,
@@ -360,37 +479,9 @@ pub fn detection_masks_threaded(
     faults: &[Fault],
     threads: usize,
 ) -> Result<Vec<u64>, AtpgError> {
-    let threads = threads.max(1);
-    if threads == 1 || faults.len() < 2 * threads {
-        return FaultSimulator::new(circuit)?.detection_masks(patterns, faults);
-    }
-    // Validate once up front so every thread can assume a good batch.
-    let probe = FaultSimulator::new(circuit)?;
-    let (_, n) = probe.good_values(patterns)?;
-    drop(probe);
-    let _ = n;
-
-    let chunk_len = faults.len().div_ceil(threads);
-    let results: Vec<Result<Vec<u64>, AtpgError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = faults
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut fsim = FaultSimulator::new(circuit)?;
-                    fsim.detection_masks(patterns, chunk)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fault-sim worker does not panic"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(faults.len());
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
+    run_sharded(circuit, faults, threads, |fsim, shard| {
+        fsim.detection_masks(patterns, shard)
+    })
 }
 
 #[cfg(test)]
@@ -438,7 +529,7 @@ g23 = NAND(g16, g19)
         for &po in c.outputs() {
             mask |= good[po.index()] ^ bad[po.index()];
         }
-        mask & ((1u64 << patterns.len()) - 1)
+        mask & active_mask(patterns.len())
     }
 
     fn all_input_patterns(n: usize) -> Vec<Vec<bool>> {
@@ -613,6 +704,43 @@ g23 = NAND(g16, g19)
             .unwrap();
         let parallel = detection_masks_threaded(&c, &patterns, &faults, 4).unwrap();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn active_mask_tail_widths() {
+        assert_eq!(active_mask(0), 0);
+        assert_eq!(active_mask(1), 0b1);
+        assert_eq!(active_mask(63), u64::MAX >> 1);
+        assert_eq!(active_mask(64), u64::MAX);
+        // Saturates rather than overflowing the shift for n > 64 (a
+        // 65-pattern set is handled as chunks of 64 + 1 upstream, but the
+        // helper itself must stay total).
+        assert_eq!(active_mask(65), u64::MAX);
+    }
+
+    #[test]
+    fn sharded_counts_and_detected_match_serial() {
+        let c = c17();
+        let patterns = all_input_patterns(5);
+        let faults = enumerate_faults(&c);
+        let serial_counts = detection_counts(&c, &patterns, &faults).unwrap();
+        let serial_detected = detected_faults(&c, &patterns, &faults, 1).unwrap();
+        for jobs in [2, 3, 8] {
+            assert_eq!(
+                detection_counts_threaded(&c, &patterns, &faults, jobs).unwrap(),
+                serial_counts,
+                "{jobs} jobs"
+            );
+            assert_eq!(
+                detected_faults(&c, &patterns, &faults, jobs).unwrap(),
+                serial_detected,
+                "{jobs} jobs"
+            );
+        }
+        // detected ⇔ count >= 1.
+        for (d, n) in serial_detected.iter().zip(&serial_counts) {
+            assert_eq!(*d, *n >= 1);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use modsoc_netlist::{Circuit, GateKind, NodeId, TestModel, TestPoint};
 
 use crate::error::AtpgError;
 use crate::fault::Fault;
-use crate::fault_sim::FaultSimulator;
+use crate::fault_sim::{active_mask, FaultSimulator};
 use crate::pattern::{FillStrategy, TestSet};
 use crate::podem::{Podem, PodemOutcome};
 
@@ -466,7 +466,7 @@ fn tdf_detected(
 ) -> Result<bool, AtpgError> {
     for chunk in patterns.chunks(64) {
         let (good, n) = fsim.good_values(chunk)?;
-        let active = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let active = active_mask(n);
         if tdf_mask(fsim, two, tf, &good, active) != 0 {
             return Ok(true);
         }

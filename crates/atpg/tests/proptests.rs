@@ -258,4 +258,38 @@ proptest! {
             prop_assert_eq!(m & !active, 0);
         }
     }
+
+    #[test]
+    fn tail_widths_count_like_per_pattern_sim(circuit in arb_circuit(), seed in any::<u64>()) {
+        // The word-boundary widths that exercise `active_mask` tail
+        // handling: a lone pattern, one short of a full 64-pattern word,
+        // exactly one word, and one pattern into a second word.
+        use modsoc_atpg::fault_sim::{detection_counts, detection_counts_threaded};
+        let faults: Vec<Fault> = collapse_faults(&circuit).representatives().to_vec();
+        for width in [1usize, 63, 64, 65] {
+            let patterns: Vec<Vec<bool>> = (0..width as u64)
+                .map(|k| {
+                    (0..circuit.input_count())
+                        .map(|i| (seed.rotate_left((k * 11 + i as u64) as u32)) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let counts = detection_counts(&circuit, &patterns, &faults).expect("counts");
+            // Ground truth: one pattern at a time, so every call uses the
+            // single-bit active window and no tail can leak.
+            let mut per_pattern = vec![0u32; faults.len()];
+            for p in &patterns {
+                let single = detection_counts(&circuit, std::slice::from_ref(p), &faults)
+                    .expect("single");
+                for (acc, c) in per_pattern.iter_mut().zip(single) {
+                    *acc += c;
+                }
+            }
+            prop_assert_eq!(&counts, &per_pattern, "width {}", width);
+            // And the sharded run is identical at any jobs value.
+            let sharded = detection_counts_threaded(&circuit, &patterns, &faults, 3)
+                .expect("sharded");
+            prop_assert_eq!(&counts, &sharded, "width {} sharded", width);
+        }
+    }
 }

@@ -1,0 +1,66 @@
+//! Criterion bench for the parallel per-core execution layer:
+//! the SOC2 modular phase at `jobs=1` versus `jobs=auto`.
+//!
+//! SOC2's four cores (s953/s5378/s13207/s15850 lookalikes) are the
+//! paper's largest per-core ATPG jobs, so they are where the pool's
+//! speedup shows. The serial flattened monolithic run would drown the
+//! signal, so the experiment runs modular-only (Equation 2 bound), with
+//! a per-core pattern cap keeping each iteration bounded. The acceptance
+//! bar is ≥1.5× on a 4-core runner — and byte-identical reports, which
+//! `jobs_invariance` asserts on every sample pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modsoc_core::experiment::{run_soc_experiment_guarded, ExperimentOptions};
+use modsoc_core::parallel::available_jobs;
+use modsoc_core::RunBudget;
+
+const PATTERN_CAP: usize = 48;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // At least 4 workers even on narrow runners: oversubscription is
+    // harmless (the pool timeshares) and the jobs=N leg stays comparable
+    // across machines.
+    let wide = available_jobs().max(4);
+    let netlist = modsoc_circuitgen::soc::soc2(1).expect("SOC2 netlist builds");
+    let budget = RunBudget::unlimited().with_max_patterns(PATTERN_CAP);
+    let run = |jobs: usize| {
+        let options = ExperimentOptions::paper_tables_1_2()
+            .modular_only()
+            .with_jobs(jobs);
+        run_soc_experiment_guarded(black_box(&netlist), &options, &budget).expect("experiment runs")
+    };
+
+    // The determinism contract behind the speedup: same seed, same
+    // reports, at any job count.
+    let serial = run(1);
+    let parallel = run(wide);
+    assert_eq!(
+        serial
+            .result
+            .cores
+            .iter()
+            .map(|c| (c.name.clone(), c.patterns))
+            .collect::<Vec<_>>(),
+        parallel
+            .result
+            .cores
+            .iter()
+            .map(|c| (c.name.clone(), c.patterns))
+            .collect::<Vec<_>>(),
+        "jobs invariance"
+    );
+    assert_eq!(serial.result.t_mono, parallel.result.t_mono);
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.bench_function("soc2_modular_jobs_1", |b| b.iter(|| run(1).result.t_mono));
+    group.bench_function(format!("soc2_modular_jobs_{wide}"), |b| {
+        b.iter(|| run(wide).result.t_mono)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

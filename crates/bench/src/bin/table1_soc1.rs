@@ -5,11 +5,14 @@
 //! per Figure 4, per-core ATPG, flattened monolithic ATPG, and the TDV
 //! comparison. Pass `--paper-only` to skip the (slower) live part.
 
-use modsoc_bench::{print_paper_table, run_live_soc};
+use modsoc_bench::{jobs_from_args, print_paper_table, run_live_soc_opts};
+use modsoc_core::experiment::ExperimentOptions;
 use modsoc_soc::itc02;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let paper_only = std::env::args().any(|a| a == "--paper-only");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_only = args.iter().any(|a| a == "--paper-only");
+    let jobs = jobs_from_args(&args)?;
 
     let soc = itc02::soc1();
     let paper = print_paper_table("Table 1 / SOC1", &soc, itc02::SOC1_MEASURED_TMONO)?;
@@ -25,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let netlist = modsoc_circuitgen::soc::soc1(1)?;
-    let exp = run_live_soc("Table 1 / SOC1", &netlist, 2.87, 1.13)?;
+    let options = ExperimentOptions::paper_tables_1_2().with_jobs(jobs);
+    let exp = run_live_soc_opts("Table 1 / SOC1", &netlist, 2.87, 1.13, &options)?;
     assert!(
         exp.eq2_strict,
         "equation 2 should be strict on SOC1 (paper: 216 > 85)"

@@ -4,11 +4,14 @@
 //! gate flattened design and takes a few minutes in release mode. Pass
 //! `--paper-only` to skip it.
 
-use modsoc_bench::{print_paper_table, run_live_soc};
+use modsoc_bench::{jobs_from_args, print_paper_table, run_live_soc_opts};
+use modsoc_core::experiment::ExperimentOptions;
 use modsoc_soc::itc02;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let paper_only = std::env::args().any(|a| a == "--paper-only");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_only = args.iter().any(|a| a == "--paper-only");
+    let jobs = jobs_from_args(&args)?;
 
     let soc = itc02::soc2();
     let paper = print_paper_table("Table 2 / SOC2", &soc, itc02::SOC2_MEASURED_TMONO)?;
@@ -24,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let netlist = modsoc_circuitgen::soc::soc2(1)?;
-    let exp = run_live_soc("Table 2 / SOC2", &netlist, 2.22, 1.06)?;
+    let options = ExperimentOptions::paper_tables_1_2().with_jobs(jobs);
+    let exp = run_live_soc_opts("Table 2 / SOC2", &netlist, 2.22, 1.06, &options)?;
     if !exp.eq2_strict {
         eprintln!("note: equation 2 was not strict on this seed");
     }

@@ -23,6 +23,23 @@ pub fn pct_delta(ours: f64, paper: f64) -> f64 {
     (ours - paper) / paper * 100.0
 }
 
+/// Parse a `--jobs N` flag from a binary's argument list (`0` = auto).
+/// Returns `1` (sequential) when the flag is absent.
+///
+/// # Errors
+///
+/// Returns a message when the flag has a missing or non-numeric value.
+pub fn jobs_from_args(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        None => Ok(1),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| "--jobs requires a value".to_string())?
+            .parse()
+            .map_err(|_| "--jobs is not a valid number".to_string()),
+    }
+}
+
 /// Run the live (netlist + ATPG) experiment for one of the paper's SOC
 /// constructions and print the comparison against the published
 /// numbers.
@@ -36,8 +53,33 @@ pub fn run_live_soc(
     paper_ratio: f64,
     paper_pessimistic: f64,
 ) -> Result<SocExperiment, AnalysisError> {
-    eprintln!("[{label}] running per-core ATPG + flattened monolithic ATPG ...");
-    let exp = run_soc_experiment(netlist, &ExperimentOptions::paper_tables_1_2())?;
+    run_live_soc_opts(
+        label,
+        netlist,
+        paper_ratio,
+        paper_pessimistic,
+        &ExperimentOptions::paper_tables_1_2(),
+    )
+}
+
+/// [`run_live_soc`] with explicit [`ExperimentOptions`] — the bins use
+/// this to thread `--jobs` through to the per-core phase.
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn run_live_soc_opts(
+    label: &str,
+    netlist: &SocNetlist,
+    paper_ratio: f64,
+    paper_pessimistic: f64,
+    options: &ExperimentOptions,
+) -> Result<SocExperiment, AnalysisError> {
+    eprintln!(
+        "[{label}] running per-core ATPG ({} jobs) + flattened monolithic ATPG ...",
+        modsoc_core::parallel::effective_jobs(options.jobs)
+    );
+    let exp = run_soc_experiment(netlist, options)?;
     println!("== {label}: live regeneration (synthetic ISCAS'89 lookalikes) ==");
     println!(
         "{}",

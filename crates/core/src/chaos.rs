@@ -283,87 +283,129 @@ impl ChaosReport {
     }
 }
 
-/// Sweep `cases` corrupted variants of a valid `.bench` source through
-/// parse → budgeted ATPG.
+/// How a single chaos case ended (the per-case unit the pool fans out).
+#[derive(Debug, Clone)]
+enum CaseClass {
+    Ok,
+    Partial,
+    TypedError,
+    Degraded,
+    Panicked(String),
+}
+
+/// Derive the RNG for one case: each case owns an independent
+/// SplitMix64 stream seeded from `(seed, case)`, so cases are mutually
+/// independent and a parallel sweep classifies exactly the same inputs
+/// as a serial one — determinism by construction, not by scheduling.
 #[must_use]
-pub fn run_bench_chaos(base: &str, cases: usize, seed: u64) -> ChaosReport {
-    let mut rng = ChaosRng::new(seed);
+pub fn case_rng(seed: u64, case: usize) -> ChaosRng {
+    ChaosRng::new(seed ^ (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Fold per-case classifications (in case order) into a report.
+fn collect_report(cases: Vec<CaseClass>) -> ChaosReport {
     let mut report = ChaosReport {
-        cases,
+        cases: cases.len(),
         ..ChaosReport::default()
     };
-    for case in 0..cases {
-        let source = corrupt(base, &mut rng);
-        let budget = random_budget(&mut rng);
-        match guard(|| parse_bench("chaos", &source)) {
-            Err(failure) => report
-                .panics
-                .push(format!("case {case} (parse): {failure}")),
-            Ok(Err(err)) => {
-                let _ = err.to_string(); // Display must not panic either.
-                report.typed_errors += 1;
+    for class in cases {
+        match class {
+            CaseClass::Ok => report.ok += 1,
+            CaseClass::Partial => report.partial += 1,
+            CaseClass::TypedError => report.typed_errors += 1,
+            CaseClass::Degraded => report.degraded += 1,
+            CaseClass::Panicked(msg) => report.panics.push(msg),
+        }
+    }
+    report
+}
+
+fn bench_chaos_case(base: &str, case: usize, seed: u64) -> CaseClass {
+    let mut rng = case_rng(seed, case);
+    let source = corrupt(base, &mut rng);
+    let budget = random_budget(&mut rng);
+    match guard(|| parse_bench("chaos", &source)) {
+        Err(failure) => CaseClass::Panicked(format!("case {case} (parse): {failure}")),
+        Ok(Err(err)) => {
+            let _ = err.to_string(); // Display must not panic either.
+            CaseClass::TypedError
+        }
+        Ok(Ok(circuit)) => {
+            let engine = Atpg::new(AtpgOptions::default());
+            match guard_result(|| engine.run_budgeted(&circuit, &budget)) {
+                Ok(result) if result.exhausted.is_some() => CaseClass::Partial,
+                Ok(_) => CaseClass::Ok,
+                Err(crate::runctl::CoreFailure::Panicked(msg)) => {
+                    CaseClass::Panicked(format!("case {case} (atpg): {msg}"))
+                }
+                Err(_) => CaseClass::TypedError,
             }
-            Ok(Ok(circuit)) => {
-                let engine = Atpg::new(AtpgOptions::default());
-                match guard_result(|| engine.run_budgeted(&circuit, &budget)) {
-                    Ok(result) if result.exhausted.is_some() => report.partial += 1,
-                    Ok(_) => report.ok += 1,
-                    Err(crate::runctl::CoreFailure::Panicked(msg)) => {
-                        report.panics.push(format!("case {case} (atpg): {msg}"));
+        }
+    }
+}
+
+fn soc_chaos_case(base: &str, case: usize, seed: u64, options: &TdvOptions) -> CaseClass {
+    let mut rng = case_rng(seed, case);
+    let source = corrupt(base, &mut rng);
+    match guard(|| parse_soc(&source)) {
+        Err(failure) => CaseClass::Panicked(format!("case {case} (parse): {failure}")),
+        Ok(Err(err)) => {
+            let _ = err.to_string();
+            CaseClass::TypedError
+        }
+        Ok(Ok(soc)) => {
+            match guard(|| {
+                let completion = analyze_soc_guarded(&soc, options);
+                // The unguarded analysis must at worst return a typed
+                // error on the same input (saturating equations).
+                let strict = SocTdvAnalysis::compute(&soc, options);
+                (completion, strict.is_ok())
+            }) {
+                Err(failure) => CaseClass::Panicked(format!("case {case} (analysis): {failure}")),
+                Ok((completion, _)) => {
+                    if completion.failed_cores().is_empty() {
+                        CaseClass::Ok
+                    } else {
+                        CaseClass::Degraded
                     }
-                    Err(_) => report.typed_errors += 1,
                 }
             }
         }
     }
-    report
+}
+
+/// Sweep `cases` corrupted variants of a valid `.bench` source through
+/// parse → budgeted ATPG.
+#[must_use]
+pub fn run_bench_chaos(base: &str, cases: usize, seed: u64) -> ChaosReport {
+    run_bench_chaos_jobs(base, cases, seed, 1)
+}
+
+/// [`run_bench_chaos`] fanned across `jobs` pool workers (`0` = auto).
+/// Per-case RNG derivation ([`case_rng`]) makes the report identical to
+/// the serial sweep at any job count.
+#[must_use]
+pub fn run_bench_chaos_jobs(base: &str, cases: usize, seed: u64, jobs: usize) -> ChaosReport {
+    let classes = crate::parallel::WorkerPool::new(jobs.max(1))
+        .map_indices(cases, |case| bench_chaos_case(base, case, seed));
+    collect_report(classes)
 }
 
 /// Sweep `cases` corrupted variants of a valid `.soc` source through
 /// parse → guarded per-core TDV analysis.
 #[must_use]
 pub fn run_soc_chaos(base: &str, cases: usize, seed: u64) -> ChaosReport {
-    let mut rng = ChaosRng::new(seed);
+    run_soc_chaos_jobs(base, cases, seed, 1)
+}
+
+/// [`run_soc_chaos`] fanned across `jobs` pool workers (`0` = auto),
+/// with the same report at any job count.
+#[must_use]
+pub fn run_soc_chaos_jobs(base: &str, cases: usize, seed: u64, jobs: usize) -> ChaosReport {
     let options = TdvOptions::tables_1_2();
-    let mut report = ChaosReport {
-        cases,
-        ..ChaosReport::default()
-    };
-    for case in 0..cases {
-        let source = corrupt(base, &mut rng);
-        match guard(|| parse_soc(&source)) {
-            Err(failure) => report
-                .panics
-                .push(format!("case {case} (parse): {failure}")),
-            Ok(Err(err)) => {
-                let _ = err.to_string();
-                report.typed_errors += 1;
-            }
-            Ok(Ok(soc)) => {
-                match guard(|| {
-                    let completion = analyze_soc_guarded(&soc, &options);
-                    // The unguarded analysis must at worst return a typed
-                    // error on the same input (saturating equations).
-                    let strict = SocTdvAnalysis::compute(&soc, &options);
-                    (completion, strict.is_ok())
-                }) {
-                    Err(failure) => {
-                        report
-                            .panics
-                            .push(format!("case {case} (analysis): {failure}"));
-                    }
-                    Ok((completion, _)) => {
-                        if completion.failed_cores().is_empty() {
-                            report.ok += 1;
-                        } else {
-                            report.degraded += 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    report
+    let classes = crate::parallel::WorkerPool::new(jobs.max(1))
+        .map_indices(cases, |case| soc_chaos_case(base, case, seed, &options));
+    collect_report(classes)
 }
 
 #[cfg(test)]
@@ -410,5 +452,49 @@ mod tests {
             report.ok + report.partial + report.typed_errors,
             report.cases
         );
+    }
+
+    #[test]
+    fn case_rng_streams_are_independent_of_sweep_order() {
+        // The derivation only depends on (seed, case), never on how many
+        // cases ran before — the property the parallel sweep rests on.
+        let a = corrupt(BENCH, &mut case_rng(7, 13));
+        let b = corrupt(BENCH, &mut case_rng(7, 13));
+        assert_eq!(a, b);
+        let other = corrupt(BENCH, &mut case_rng(7, 14));
+        // Not a hard guarantee, but these streams diverge immediately.
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn parallel_bench_sweep_matches_serial() {
+        let serial = run_bench_chaos(BENCH, 40, 0xDECADE);
+        for jobs in [2, 4] {
+            let parallel = run_bench_chaos_jobs(BENCH, 40, 0xDECADE, jobs);
+            assert_eq!(parallel.cases, serial.cases, "jobs={jobs}");
+            assert_eq!(parallel.panics, serial.panics, "jobs={jobs}");
+            // Parse-level classification never depends on scheduling.
+            assert_eq!(parallel.typed_errors, serial.typed_errors, "jobs={jobs}");
+            // Ok-vs-partial can flip only for wall-clock (timeout) budgets,
+            // which are load-dependent even serially; the sum cannot.
+            assert_eq!(
+                parallel.ok + parallel.partial,
+                serial.ok + serial.partial,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    const SOC: &str =
+        "soc chaos\ncore top i=8 o=5 b=0 s=0 t=2 children=a,b\ncore a i=4 o=3 b=0 s=20 t=100\ncore b i=2 o=2 b=0 s=10 t=50\n";
+
+    #[test]
+    fn parallel_soc_sweep_is_identical_to_serial() {
+        // No wall-clock budgets in the `.soc` path: exact report equality.
+        let serial = run_soc_chaos(SOC, 60, 0xFEED);
+        for jobs in [0, 2, 4] {
+            let parallel = run_soc_chaos_jobs(SOC, 60, 0xFEED, jobs);
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
     }
 }

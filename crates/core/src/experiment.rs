@@ -6,18 +6,28 @@
 //! netlist, and compare the measured test data volumes. The paper's
 //! Equation 2 claim (`T_mono ≥ max_i T_i`, observed strictly greater)
 //! falls out of the measured pattern counts.
+//!
+//! Because the paper's whole point is that the per-core ATPG problems
+//! are *independent*, the modular phase dispatches them across a
+//! [`WorkerPool`] ([`ExperimentOptions::jobs`]) and merges the
+//! [`CoreMeasurement`]s in core-index order — reports are byte-identical
+//! to the sequential run at any job count.
 
-use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_atpg::{Atpg, AtpgOptions, AtpgResult};
 use modsoc_circuitgen::SocNetlist;
+use modsoc_netlist::Circuit;
 use modsoc_soc::{CoreSpec, Soc};
 
 use crate::analysis::SocTdvAnalysis;
 use crate::error::AnalysisError;
-use crate::runctl::{guard_result, Completion, CoreOutcome, CoreOutcomeKind, RunBudget};
+use crate::parallel::WorkerPool;
+use crate::runctl::{
+    guard_result, Completion, CoreFailure, CoreOutcome, CoreOutcomeKind, RunBudget,
+};
 use crate::tdv::TdvOptions;
 
 /// Options for a netlist-backed experiment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOptions {
     /// ATPG engine configuration (same settings for per-core and
     /// monolithic runs, mirroring the paper's "identical parameters").
@@ -27,6 +37,38 @@ pub struct ExperimentOptions {
     /// Pattern count charged to the top-level glue core's ExTest
     /// (interconnect test). The paper measured 2 for SOC1/SOC2.
     pub glue_patterns: u64,
+    /// Worker threads for the per-core (modular) phase: each core's ATPG
+    /// is an independent job on the pool. `0` means all available
+    /// hardware threads; `1` (the default) runs sequentially. Any value
+    /// produces identical reports — the merge is order-preserving.
+    pub jobs: usize,
+    /// In the guarded entry points: as soon as one core fails or trips
+    /// the budget, raise the budget's cross-thread cancel flag so
+    /// in-flight sibling cores (and the monolithic phase) stop at their
+    /// next poll instead of running to completion. The run still returns
+    /// a [`Completion`] with one outcome per core. Which siblings finish
+    /// before observing the flag is scheduling-dependent, so fail-fast
+    /// runs trade the determinism guarantee for latency.
+    pub fail_fast: bool,
+    /// Run the flattened monolithic ATPG phase (default). When `false`,
+    /// the accounting falls back to the Equation 2 optimistic bound
+    /// `T_mono = max_i T_i` and no `"<monolithic>"` outcome row is
+    /// emitted — the modular-only mode used by the `--jobs` scaling
+    /// bench, where the serial monolithic run would drown the signal.
+    pub monolithic: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> ExperimentOptions {
+        ExperimentOptions {
+            atpg: AtpgOptions::default(),
+            tdv: TdvOptions::default(),
+            glue_patterns: 0,
+            jobs: 1,
+            fail_fast: false,
+            monolithic: true,
+        }
+    }
 }
 
 impl ExperimentOptions {
@@ -35,10 +77,31 @@ impl ExperimentOptions {
     #[must_use]
     pub fn paper_tables_1_2() -> ExperimentOptions {
         ExperimentOptions {
-            atpg: AtpgOptions::default(),
             tdv: TdvOptions::tables_1_2(),
             glue_patterns: 2,
+            ..ExperimentOptions::default()
         }
+    }
+
+    /// Set the worker count for the per-core phase (`0` = auto).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> ExperimentOptions {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enable fail-fast sibling cancellation (guarded entry points).
+    #[must_use]
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> ExperimentOptions {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Skip the flattened monolithic phase (Equation 2 bound instead).
+    #[must_use]
+    pub fn modular_only(mut self) -> ExperimentOptions {
+        self.monolithic = false;
+        self
     }
 }
 
@@ -64,32 +127,47 @@ pub struct SocExperiment {
     pub analysis: SocTdvAnalysis,
     /// Per-core measurements, in core order.
     pub cores: Vec<CoreMeasurement>,
-    /// Measured monolithic pattern count (flattened-design ATPG).
+    /// Measured monolithic pattern count (flattened-design ATPG), or the
+    /// Equation 2 optimistic bound when the monolithic phase was skipped
+    /// or failed.
     pub t_mono: u64,
-    /// Monolithic-run fault coverage.
+    /// Monolithic-run fault coverage (0 when the phase did not run).
     pub mono_coverage: f64,
     /// Whether Equation 2 held strictly (`T_mono > max_i T_i`), the
     /// paper's observation on both SOCs.
     pub eq2_strict: bool,
 }
 
+/// Dispatch one ATPG job per core across the pool, preserving core-index
+/// order in the returned vector.
+fn map_cores<T: Send>(
+    netlist: &SocNetlist,
+    jobs: usize,
+    run_core: impl Fn(usize, &Circuit) -> T + Sync,
+) -> Vec<T> {
+    WorkerPool::new(jobs.max(1)).map(netlist.cores(), run_core)
+}
+
 /// Run the full modular-vs-monolithic experiment on a structural SOC.
 ///
 /// # Errors
 ///
-/// Propagates netlist flattening and ATPG errors.
+/// Propagates netlist flattening and ATPG errors (the error of the
+/// lowest-indexed failing core, matching the sequential run).
 pub fn run_soc_experiment(
     netlist: &SocNetlist,
     options: &ExperimentOptions,
 ) -> Result<SocExperiment, AnalysisError> {
     let engine = Atpg::new(options.atpg.clone());
 
-    // Modular phase: every core stand-alone.
+    // Modular phase: every core stand-alone, dispatched across the pool.
+    let results = map_cores(netlist, options.jobs, |_, circuit| engine.run(circuit));
+
     let mut soc = Soc::new(netlist.name());
     let mut cores = Vec::with_capacity(netlist.cores().len());
     let mut children = Vec::with_capacity(netlist.cores().len());
-    for circuit in netlist.cores() {
-        let result = engine.run(circuit)?;
+    for (circuit, result) in netlist.cores().iter().zip(results) {
+        let result = result?;
         let patterns = result.pattern_count() as u64;
         cores.push(CoreMeasurement {
             name: circuit.name().to_string(),
@@ -118,10 +196,14 @@ pub fn run_soc_experiment(
     ))?;
 
     // Monolithic phase: flatten and re-run ATPG.
-    let flat = netlist.flatten()?;
-    let mono = engine.run(&flat)?;
-    let t_mono_raw = mono.pattern_count() as u64;
     let max_core = soc.max_core_patterns();
+    let (t_mono_raw, mono_coverage) = if options.monolithic {
+        let flat = netlist.flatten()?;
+        let mono = engine.run(&flat)?;
+        (mono.pattern_count() as u64, mono.fault_coverage())
+    } else {
+        (max_core, 0.0)
+    };
     let eq2_strict = t_mono_raw > max_core;
     // Equation 2 guarantees T_mono ≥ max core count for a *consistent*
     // compaction; independent ATPG runs can rarely dip below, so clamp
@@ -134,7 +216,7 @@ pub fn run_soc_experiment(
         analysis,
         cores,
         t_mono: t_mono_raw,
-        mono_coverage: mono.fault_coverage(),
+        mono_coverage,
         eq2_strict,
     })
 }
@@ -142,12 +224,18 @@ pub fn run_soc_experiment(
 /// Run the modular-vs-monolithic experiment under a [`RunBudget`] with
 /// per-core panic isolation.
 ///
-/// Each core's ATPG runs guarded: a panic or typed error in one core
+/// Each core's ATPG runs guarded on the worker pool
+/// ([`ExperimentOptions::jobs`]): a panic or typed error in one core
 /// becomes a [`CoreOutcome`] diagnostic while the remaining cores still
 /// produce their rows; a tripped budget yields each core's partial
-/// pattern set. The flattened monolithic run is guarded the same way
-/// (pseudo-core `"<monolithic>"`) — when it fails, the accounting falls
-/// back to the Equation 2 optimistic bound `T_mono = max_i T_i`.
+/// pattern set. Measurements are merged in core-index order, so the
+/// report is byte-identical to the sequential run at any job count. With
+/// [`ExperimentOptions::fail_fast`], the first core to fail or trip the
+/// budget raises the budget's cross-thread cancel flag and in-flight
+/// siblings stop at their next poll. The flattened monolithic run is
+/// guarded the same way (pseudo-core `"<monolithic>"`) — when it fails
+/// or is skipped, the accounting falls back to the Equation 2 optimistic
+/// bound `T_mono = max_i T_i`.
 ///
 /// # Errors
 ///
@@ -161,16 +249,62 @@ pub fn run_soc_experiment_guarded(
     budget: &RunBudget,
 ) -> Result<Completion<SocExperiment>, AnalysisError> {
     let engine = Atpg::new(options.atpg.clone());
+    run_soc_experiment_guarded_with(netlist, options, budget, |_, circuit| {
+        engine
+            .run_budgeted(circuit, budget)
+            .map_err(AnalysisError::from)
+    })
+}
+
+/// [`run_soc_experiment_guarded`] with a caller-supplied per-core ATPG
+/// function — the chaos/fault-injection seam. `run_core(i, circuit)` is
+/// invoked once per core on a pool worker; panics and errors it raises
+/// are contained to that core's [`CoreOutcome`] exactly like engine
+/// failures, which is how the test suite injects deterministic per-core
+/// panics and verifies `jobs=1`/`jobs=4` report equality.
+///
+/// # Errors
+///
+/// As [`run_soc_experiment_guarded`].
+pub fn run_soc_experiment_guarded_with<F>(
+    netlist: &SocNetlist,
+    options: &ExperimentOptions,
+    budget: &RunBudget,
+    run_core: F,
+) -> Result<Completion<SocExperiment>, AnalysisError>
+where
+    F: Fn(usize, &Circuit) -> Result<AtpgResult, AnalysisError> + Sync,
+{
+    let engine = Atpg::new(options.atpg.clone());
     let mut exhausted = None;
     let mut outcomes: Vec<CoreOutcome> = Vec::new();
 
-    // Modular phase: every core stand-alone, each isolated.
+    // Modular phase: every core stand-alone, each isolated, dispatched
+    // across the pool. The jobs only touch per-core state (plus the
+    // budget's atomics), so the merge below sees exactly what a
+    // sequential loop would have seen.
+    let results: Vec<Result<AtpgResult, CoreFailure>> =
+        map_cores(netlist, options.jobs, |i, circuit| {
+            let result = guard_result(|| run_core(i, circuit));
+            if options.fail_fast {
+                let tripped = match &result {
+                    Ok(r) => r.exhausted.is_some(),
+                    Err(_) => true,
+                };
+                if tripped {
+                    budget.cancel();
+                }
+            }
+            result
+        });
+
+    // Order-preserving merge, in core-index order.
     let mut soc = Soc::new(netlist.name());
     let mut cores = Vec::with_capacity(netlist.cores().len());
     let mut children = Vec::with_capacity(netlist.cores().len());
-    for circuit in netlist.cores() {
+    for (circuit, core_result) in netlist.cores().iter().zip(results) {
         let name = circuit.name().to_string();
-        match guard_result(|| engine.run_budgeted(circuit, budget)) {
+        match core_result {
             Ok(result) => {
                 let patterns = result.pattern_count() as u64;
                 let kind = match &result.exhausted {
@@ -228,42 +362,46 @@ pub fn run_soc_experiment_guarded(
 
     // Monolithic phase, isolated the same way.
     let max_core = soc.max_core_patterns();
-    let mono = guard_result(|| {
-        let flat = netlist.flatten()?;
-        engine
-            .run_budgeted(&flat, budget)
-            .map_err(AnalysisError::from)
-    });
-    let (t_mono_raw, mono_coverage) = match mono {
-        Ok(result) => {
-            let patterns = result.pattern_count() as u64;
-            let kind = match &result.exhausted {
-                Some(e) => {
-                    if exhausted.is_none() {
-                        exhausted = Some(e.clone());
+    let (t_mono_raw, mono_coverage) = if options.monolithic {
+        let mono = guard_result(|| {
+            let flat = netlist.flatten()?;
+            engine
+                .run_budgeted(&flat, budget)
+                .map_err(AnalysisError::from)
+        });
+        match mono {
+            Ok(result) => {
+                let patterns = result.pattern_count() as u64;
+                let kind = match &result.exhausted {
+                    Some(e) => {
+                        if exhausted.is_none() {
+                            exhausted = Some(e.clone());
+                        }
+                        CoreOutcomeKind::Partial(e.clone())
                     }
-                    CoreOutcomeKind::Partial(e.clone())
-                }
-                None => CoreOutcomeKind::Complete,
-            };
-            outcomes.push(CoreOutcome {
-                core: "<monolithic>".to_string(),
-                kind,
-                patterns: Some(patterns),
-                fault_coverage: Some(result.fault_coverage()),
-            });
-            (patterns, result.fault_coverage())
+                    None => CoreOutcomeKind::Complete,
+                };
+                outcomes.push(CoreOutcome {
+                    core: "<monolithic>".to_string(),
+                    kind,
+                    patterns: Some(patterns),
+                    fault_coverage: Some(result.fault_coverage()),
+                });
+                (patterns, result.fault_coverage())
+            }
+            Err(failure) => {
+                outcomes.push(CoreOutcome {
+                    core: "<monolithic>".to_string(),
+                    kind: CoreOutcomeKind::Failed(failure),
+                    patterns: None,
+                    fault_coverage: None,
+                });
+                // Fall back to the Equation 2 optimistic bound.
+                (max_core, 0.0)
+            }
         }
-        Err(failure) => {
-            outcomes.push(CoreOutcome {
-                core: "<monolithic>".to_string(),
-                kind: CoreOutcomeKind::Failed(failure),
-                patterns: None,
-                fault_coverage: None,
-            });
-            // Fall back to the Equation 2 optimistic bound.
-            (max_core, 0.0)
-        }
+    } else {
+        (max_core, 0.0)
     };
     let eq2_strict = t_mono_raw > max_core;
     let t_mono = t_mono_raw.max(max_core);
@@ -285,7 +423,8 @@ pub fn run_soc_experiment_guarded(
 
 /// Run the modular-vs-monolithic experiment with **transition-delay**
 /// (launch-on-capture) pattern counts instead of stuck-at — the at-speed
-/// extension of the paper's Tables 1–2 methodology.
+/// extension of the paper's Tables 1–2 methodology. Per-core TDF
+/// generation fans out across the pool like the stuck-at path.
 ///
 /// # Errors
 ///
@@ -297,11 +436,15 @@ pub fn run_soc_experiment_tdf(
 ) -> Result<SocExperiment, AnalysisError> {
     use modsoc_atpg::tdf::run_tdf_atpg;
 
+    let results = map_cores(netlist, options.jobs, |_, circuit| {
+        run_tdf_atpg(circuit, backtrack_limit)
+    });
+
     let mut soc = Soc::new(format!("{}.atspeed", netlist.name()));
     let mut cores = Vec::with_capacity(netlist.cores().len());
     let mut children = Vec::with_capacity(netlist.cores().len());
-    for circuit in netlist.cores() {
-        let result = run_tdf_atpg(circuit, backtrack_limit)?;
+    for (circuit, result) in netlist.cores().iter().zip(results) {
+        let result = result?;
         let patterns = result.patterns.len() as u64;
         cores.push(CoreMeasurement {
             name: circuit.name().to_string(),
@@ -335,10 +478,14 @@ pub fn run_soc_experiment_tdf(
         children,
     ))?;
 
-    let flat = netlist.flatten()?;
-    let mono = run_tdf_atpg(&flat, backtrack_limit)?;
-    let t_mono_raw = mono.patterns.len() as u64;
     let max_core = soc.max_core_patterns();
+    let (t_mono_raw, mono_coverage) = if options.monolithic {
+        let flat = netlist.flatten()?;
+        let mono = run_tdf_atpg(&flat, backtrack_limit)?;
+        (mono.patterns.len() as u64, mono.coverage())
+    } else {
+        (max_core, 0.0)
+    };
     let eq2_strict = t_mono_raw > max_core;
     let t_mono = t_mono_raw.max(max_core);
 
@@ -348,7 +495,7 @@ pub fn run_soc_experiment_tdf(
         analysis,
         cores,
         t_mono: t_mono_raw,
-        mono_coverage: mono.coverage(),
+        mono_coverage,
         eq2_strict,
     })
 }
@@ -389,6 +536,59 @@ mod tests {
     }
 
     #[test]
+    fn parallel_experiment_matches_sequential() {
+        let netlist = mini_soc(7).unwrap();
+        let sequential =
+            run_soc_experiment(&netlist, &ExperimentOptions::paper_tables_1_2()).unwrap();
+        for jobs in [0, 2, 4] {
+            let parallel = run_soc_experiment(
+                &netlist,
+                &ExperimentOptions::paper_tables_1_2().with_jobs(jobs),
+            )
+            .unwrap();
+            assert_eq!(parallel.t_mono, sequential.t_mono, "jobs={jobs}");
+            assert_eq!(parallel.eq2_strict, sequential.eq2_strict);
+            assert_eq!(
+                parallel
+                    .cores
+                    .iter()
+                    .map(|c| c.patterns)
+                    .collect::<Vec<_>>(),
+                sequential
+                    .cores
+                    .iter()
+                    .map(|c| c.patterns)
+                    .collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn modular_only_uses_equation_2_bound() {
+        let netlist = mini_soc(7).unwrap();
+        let exp = run_soc_experiment(
+            &netlist,
+            &ExperimentOptions::paper_tables_1_2().modular_only(),
+        )
+        .unwrap();
+        assert_eq!(exp.t_mono, exp.soc.max_core_patterns());
+        assert!(!exp.eq2_strict);
+        assert_eq!(exp.mono_coverage, 0.0);
+        // And the guarded path skips the pseudo-stage row entirely.
+        let guarded = run_soc_experiment_guarded(
+            &netlist,
+            &ExperimentOptions::paper_tables_1_2().modular_only(),
+            &RunBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(guarded
+            .per_core_outcomes
+            .iter()
+            .all(|o| o.core != "<monolithic>"));
+    }
+
+    #[test]
     fn tdf_experiment_end_to_end() {
         let netlist = mini_soc(7).unwrap();
         let exp =
@@ -418,5 +618,57 @@ mod tests {
             exp.soc.total_scan_cells(),
             netlist.total_scan_cells() as u64
         );
+    }
+
+    #[test]
+    fn injected_core_panic_is_isolated_at_any_job_count() {
+        let netlist = mini_soc(7).unwrap();
+        let engine = Atpg::new(AtpgOptions::default());
+        for jobs in [1, 4] {
+            let options = ExperimentOptions::paper_tables_1_2().with_jobs(jobs);
+            let completion = run_soc_experiment_guarded_with(
+                &netlist,
+                &options,
+                &RunBudget::unlimited(),
+                |i, circuit| {
+                    if i == 0 {
+                        panic!("injected core panic");
+                    }
+                    engine
+                        .run_budgeted(circuit, &RunBudget::unlimited())
+                        .map_err(AnalysisError::from)
+                },
+            )
+            .unwrap();
+            let failed = completion.failed_cores();
+            assert_eq!(failed.len(), 1, "jobs={jobs}");
+            assert!(matches!(
+                &failed[0].kind,
+                CoreOutcomeKind::Failed(CoreFailure::Panicked(m)) if m == "injected core panic"
+            ));
+            assert_eq!(completion.result.cores.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_in_flight_siblings() {
+        let netlist = mini_soc(7).unwrap();
+        let options = ExperimentOptions::paper_tables_1_2()
+            .with_jobs(1)
+            .with_fail_fast(true);
+        let budget = RunBudget::unlimited();
+        let completion = run_soc_experiment_guarded_with(&netlist, &options, &budget, |i, _| {
+            if i == 0 {
+                return Err(AnalysisError::Soc(modsoc_soc::SocError::Empty));
+            }
+            // A healthy sibling: would succeed, but fail-fast has already
+            // raised the shared cancel flag by the time it runs (jobs=1
+            // ⇒ strictly after core 0).
+            assert!(budget.is_cancelled(), "sibling sees the cancel flag");
+            Err(AnalysisError::Soc(modsoc_soc::SocError::Empty))
+        });
+        // Both cores failed ⇒ nothing analyzable remains.
+        assert!(completion.is_err());
+        assert!(budget.is_cancelled());
     }
 }

@@ -25,6 +25,10 @@
 //! * [`runctl`] — run control: [`RunBudget`] deadlines/cancellation,
 //!   panic isolation, and per-core graceful degradation so one poisoned
 //!   core cannot take down a whole experiment.
+//! * [`parallel`] — a deterministic scoped worker pool
+//!   ([`WorkerPool`]): per-core ATPG jobs, fault-list shards and chaos
+//!   cases fan out across `std::thread` workers with an order-preserving
+//!   merge, so reports are byte-identical at any `--jobs` value.
 //! * [`chaos`] — a fault-injection harness that corrupts `.bench`/`.soc`
 //!   inputs and injects budget exhaustion, asserting the pipeline always
 //!   terminates with a typed error or partial result.
@@ -58,6 +62,7 @@ pub mod analysis;
 pub mod chaos;
 pub mod error;
 pub mod experiment;
+pub mod parallel;
 pub mod reconstruct;
 pub mod report;
 pub mod runctl;
@@ -66,6 +71,7 @@ pub mod timecost;
 
 pub use analysis::{CoreTdvRow, SocTdvAnalysis};
 pub use error::AnalysisError;
+pub use parallel::WorkerPool;
 pub use runctl::{
     BudgetExhausted, Completion, CoreFailure, CoreOutcome, CoreOutcomeKind, ExhaustReason,
     RunBudget,

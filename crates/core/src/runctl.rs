@@ -189,14 +189,31 @@ pub fn guard_result<T, E: fmt::Display>(
 /// every core in SOC order.
 #[must_use]
 pub fn analyze_soc_guarded(soc: &Soc, options: &TdvOptions) -> Completion<Vec<CoreTdvRow>> {
+    analyze_soc_guarded_jobs(soc, options, 1)
+}
+
+/// [`analyze_soc_guarded`] fanned across `jobs` pool workers (`0` =
+/// auto). Each core's TDV arithmetic is an independent guarded job; the
+/// merge is order-preserving, so the completion is identical to the
+/// sequential run at any job count.
+#[must_use]
+pub fn analyze_soc_guarded_jobs(
+    soc: &Soc,
+    options: &TdvOptions,
+    jobs: usize,
+) -> Completion<Vec<CoreTdvRow>> {
+    let ids: Vec<_> = soc.iter().collect();
+    let computed = crate::parallel::WorkerPool::new(jobs.max(1)).map(&ids, |_, (id, _)| {
+        guard(|| {
+            let volume = core_tdv_checked(soc, *id, options)?;
+            let (iso_s, iso_r) = isocost_split_checked(soc, *id, options)?;
+            Some((volume, iso_s.checked_add(iso_r)?))
+        })
+    });
+
     let mut rows = Vec::new();
     let mut outcomes = Vec::new();
-    for (id, core) in soc.iter() {
-        let computed = guard(|| {
-            let volume = core_tdv_checked(soc, id, options)?;
-            let (iso_s, iso_r) = isocost_split_checked(soc, id, options)?;
-            Some((volume, iso_s.checked_add(iso_r)?))
-        });
+    for ((id, core), computed) in ids.into_iter().zip(computed) {
         match computed {
             Ok(Some((volume, isocost))) => {
                 rows.push(CoreTdvRow {
@@ -287,6 +304,30 @@ mod tests {
         assert!(completion.is_complete());
         assert_eq!(completion.result.len(), 1);
         assert_eq!(completion.per_core_outcomes[0].kind.label(), "ok");
+    }
+
+    #[test]
+    fn guarded_analysis_is_jobs_invariant() {
+        let mut soc = Soc::new("mixed");
+        soc.add_core(CoreSpec::leaf("good_a", 4, 3, 0, 20, 100))
+            .unwrap();
+        soc.add_core(CoreSpec::leaf("poisoned", 1, 1, 0, u64::MAX, u64::MAX))
+            .unwrap();
+        soc.add_core(CoreSpec::leaf("good_b", 2, 2, 0, 10, 50))
+            .unwrap();
+        let serial = analyze_soc_guarded(&soc, &TdvOptions::tables_3_4());
+        for jobs in [0, 2, 4] {
+            let parallel = analyze_soc_guarded_jobs(&soc, &TdvOptions::tables_3_4(), jobs);
+            assert_eq!(
+                parallel.per_core_outcomes, serial.per_core_outcomes,
+                "jobs={jobs}"
+            );
+            assert_eq!(parallel.result.len(), serial.result.len());
+            for (p, s) in parallel.result.iter().zip(serial.result.iter()) {
+                assert_eq!((p.id, &p.name, p.isocost), (s.id, &s.name, s.isocost));
+                assert_eq!(p.volume, s.volume);
+            }
+        }
     }
 
     #[test]

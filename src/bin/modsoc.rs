@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
+//!                           [--jobs N]
+//! modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
+//!                                    [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //! modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //!                          [--patterns-out FILE] [--verilog-out FILE]
 //! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -9,6 +12,9 @@
 //! modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
 //! modsoc demo <soc1|soc2|p34392|table4>
 //! ```
+//!
+//! `--jobs N` fans independent per-core work across `N` pool workers
+//! (`0` = all hardware threads); reports are identical at any value.
 //!
 //! Exit codes: `0` complete, `2` partial result on a tripped run budget
 //! or a degraded (`--keep-going`) analysis, `1` error.
@@ -19,8 +25,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use modsoc::analysis::experiment::{run_soc_experiment_guarded, ExperimentOptions};
 use modsoc::analysis::report::{fmt_u64, render_core_table, render_outcome_table, render_survey};
-use modsoc::analysis::runctl::analyze_soc_guarded;
+use modsoc::analysis::runctl::analyze_soc_guarded_jobs;
 use modsoc::analysis::tdv::core_tdv_checked;
 use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
@@ -56,6 +63,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
+                            [--jobs N]
+  modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
+                                     [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
   modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
                            [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -63,11 +73,14 @@ const USAGE: &str = "usage:
   modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
   modsoc demo <soc1|soc2|p34392|table4>
 
+--jobs N runs independent per-core work on N pool workers (0 = auto);
+reports are identical at any value.
 exit codes: 0 complete, 2 partial (budget tripped / degraded cores), 1 error";
 
 fn run(args: &[String]) -> Result<RunStatus, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("cones") => cmd_cones(&args[1..]),
@@ -100,7 +113,11 @@ fn positional(args: &[String]) -> Option<&str> {
         if a.starts_with("--") {
             skip = !matches!(
                 a.as_str(),
-                "--dynamic" | "--exclude-chip-pins" | "--keep-going"
+                "--dynamic"
+                    | "--exclude-chip-pins"
+                    | "--keep-going"
+                    | "--fail-fast"
+                    | "--skip-monolithic"
             );
             continue;
         }
@@ -154,11 +171,19 @@ fn budget_from_flags(args: &[String]) -> Result<RunBudget, String> {
     Ok(budget)
 }
 
+/// Parse the shared `--jobs` flag (`0` = auto; absent = 1, sequential).
+fn jobs_from_flags(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        Some(n) => parse_num(n, "--jobs"),
+        None => Ok(1),
+    }
+}
+
 fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
     check_flags(
         args,
         &["--exclude-chip-pins", "--keep-going"],
-        &["--measured-tmono", "--reuse"],
+        &["--measured-tmono", "--reuse", "--jobs"],
     )?;
     let path = positional(args).ok_or("analyze needs a .soc file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -175,11 +200,13 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
         }
         options = options.with_functional_reuse(r);
     }
+    let jobs = jobs_from_flags(args)?;
     if has_flag(args, "--keep-going") {
         // Degraded mode: poisoned cores become typed per-core outcomes;
         // healthy cores still get their rows and the outcome table shows
-        // who failed and why.
-        let completion = analyze_soc_guarded(&soc, &options);
+        // who failed and why. Per-core arithmetic fans across the pool;
+        // the output is identical at any --jobs value.
+        let completion = analyze_soc_guarded_jobs(&soc, &options, jobs);
         println!("{soc}");
         for row in &completion.result {
             println!(
@@ -233,6 +260,81 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
         analysis.modular_change_pct()
     );
     Ok(RunStatus::Complete)
+}
+
+/// Run the live modular-vs-monolithic experiment on one of the built-in
+/// SOC netlist constructions, guarded and budgeted, with the per-core
+/// phase fanned across `--jobs` pool workers.
+fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--fail-fast", "--skip-monolithic"],
+        &[
+            "--seed",
+            "--jobs",
+            "--timeout-ms",
+            "--max-patterns",
+            "--max-backtracks",
+        ],
+    )?;
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => parse_num(s, "--seed")?,
+        None => 1,
+    };
+    let netlist = match positional(args) {
+        Some("mini") => modsoc::circuitgen::soc::mini_soc(seed),
+        Some("soc1") => modsoc::circuitgen::soc::soc1(seed),
+        Some("soc2") => modsoc::circuitgen::soc::soc2(seed),
+        other => {
+            return Err(format!(
+                "experiment needs one of mini|soc1|soc2, got {other:?}"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut options = ExperimentOptions::paper_tables_1_2()
+        .with_jobs(jobs_from_flags(args)?)
+        .with_fail_fast(has_flag(args, "--fail-fast"));
+    if has_flag(args, "--skip-monolithic") {
+        options = options.modular_only();
+    }
+    let budget = budget_from_flags(args)?;
+    let completion =
+        run_soc_experiment_guarded(&netlist, &options, &budget).map_err(|e| e.to_string())?;
+
+    let exp = &completion.result;
+    println!("{}", render_core_table(&exp.soc, &exp.analysis));
+    if options.monolithic {
+        println!(
+            "monolithic ATPG: T_mono = {} (max core {}), coverage {:.2}%, eq.2 strict: {}",
+            exp.t_mono,
+            exp.soc.max_core_patterns(),
+            exp.mono_coverage * 100.0,
+            exp.eq2_strict
+        );
+    } else {
+        println!(
+            "monolithic phase skipped: T_mono bounded below by max core = {}",
+            exp.t_mono
+        );
+    }
+    println!();
+    println!("{}", render_outcome_table(&completion.per_core_outcomes));
+    if completion.is_complete() {
+        return Ok(RunStatus::Complete);
+    }
+    if let Some(e) = &completion.exhausted {
+        eprintln!("warning: partial result — {e}");
+    }
+    let failed = completion.failed_cores().len();
+    if failed > 0 {
+        eprintln!(
+            "warning: {failed} of {} stages failed",
+            completion.per_core_outcomes.len()
+        );
+    }
+    Ok(RunStatus::Partial)
 }
 
 fn cmd_atpg(args: &[String]) -> Result<RunStatus, String> {

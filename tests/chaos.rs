@@ -8,7 +8,10 @@
 
 use std::time::{Duration, Instant};
 
-use modsoc::analysis::chaos::{run_bench_chaos, run_soc_chaos, ChaosRng, ALL_CORRUPTIONS};
+use modsoc::analysis::chaos::{
+    run_bench_chaos, run_bench_chaos_jobs, run_soc_chaos, run_soc_chaos_jobs, ChaosRng,
+    ALL_CORRUPTIONS,
+};
 use modsoc::analysis::runctl::{analyze_soc_guarded, CoreFailure, CoreOutcomeKind};
 use modsoc::analysis::{RunBudget, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions, ExhaustReason};
@@ -42,7 +45,9 @@ core c i=2 o=2 b=0 s=8 t=30
 
 #[test]
 fn bench_chaos_sweep_200_cases_no_panics() {
-    let report = run_bench_chaos(BASE_BENCH, 200, CHAOS_SEED);
+    // Fan the fixed-seed sweep across the pool; per-case RNG derivation
+    // keeps every case identical to a serial run.
+    let report = run_bench_chaos_jobs(BASE_BENCH, 200, CHAOS_SEED, 0);
     assert_eq!(report.cases, 200);
     assert!(report.no_panics(), "panics escaped: {:?}", report.panics);
     // Every case lands in exactly one bucket.
@@ -56,7 +61,7 @@ fn bench_chaos_sweep_200_cases_no_panics() {
 
 #[test]
 fn soc_chaos_sweep_200_cases_no_panics() {
-    let report = run_soc_chaos(BASE_SOC, 200, CHAOS_SEED);
+    let report = run_soc_chaos_jobs(BASE_SOC, 200, CHAOS_SEED, 0);
     assert_eq!(report.cases, 200);
     assert!(report.no_panics(), "panics escaped: {:?}", report.panics);
     assert_eq!(report.ok + report.degraded + report.typed_errors, 200);
@@ -72,6 +77,18 @@ fn chaos_sweeps_are_deterministic_for_a_seed() {
     let c = run_soc_chaos(BASE_SOC, 40, 1234);
     let d = run_soc_chaos(BASE_SOC, 40, 1234);
     assert_eq!(c, d);
+}
+
+/// The pooled sweep classifies exactly the cases the serial sweep does.
+/// (`.soc` cases have no wall-clock budgets, so the reports are equal
+/// field for field at every job count.)
+#[test]
+fn parallel_soc_chaos_sweep_matches_serial() {
+    let serial = run_soc_chaos(BASE_SOC, 200, CHAOS_SEED);
+    for jobs in [2, 4, 8] {
+        let parallel = run_soc_chaos_jobs(BASE_SOC, 200, CHAOS_SEED, jobs);
+        assert_eq!(parallel, serial, "jobs={jobs}");
+    }
 }
 
 /// Acceptance criterion: a corrupted `.soc` whose poisoned core carries

@@ -305,3 +305,68 @@ fn unknown_and_dangling_flags_are_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn experiment_mini_is_jobs_invariant_byte_for_byte() {
+    let run = |jobs: &str| {
+        let out = modsoc(&["experiment", "mini", "--skip-monolithic", "--jobs", jobs]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "stdout must be identical at any --jobs");
+    assert_eq!(serial, run("0"));
+    let text = String::from_utf8_lossy(&serial);
+    assert!(text.contains("coreA"), "{text}");
+    assert!(text.contains("monolithic phase skipped"), "{text}");
+}
+
+#[test]
+fn experiment_budget_trip_exits_2_with_outcome_table() {
+    let out = modsoc(&["experiment", "mini", "--max-patterns", "2", "--fail-fast"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("partial"), "{text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("partial result"));
+}
+
+#[test]
+fn experiment_rejects_unknown_target_and_bad_jobs() {
+    let out = modsoc(&["experiment", "maxi"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mini|soc1|soc2"));
+
+    let out = modsoc(&["experiment", "mini", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn analyze_keep_going_output_is_jobs_invariant() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_jobs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let soc_path = dir.join("inv.soc");
+    std::fs::write(
+        &soc_path,
+        "soc demo\ncore top i=8 o=4 s=0 t=2 children=a,b\ncore a i=4 o=2 s=16 t=40\ncore b i=3 o=3 s=8 t=20\n",
+    )
+    .expect("write soc");
+    let path = soc_path.to_str().expect("utf8 path");
+    let run = |jobs: &str| {
+        let out = modsoc(&["analyze", path, "--keep-going", "--jobs", jobs]);
+        assert_eq!(out.status.code(), Some(0));
+        out.stdout
+    };
+    assert_eq!(run("1"), run("4"));
+    std::fs::remove_dir_all(&dir).ok();
+}

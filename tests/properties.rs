@@ -133,3 +133,71 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Full guarded experiments per case: keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel determinism contract end to end: the guarded
+    /// experiment produces an identical report at `jobs=1` and `jobs=4`
+    /// — same per-core outcome table, pattern counts and TDV rows — for
+    /// any netlist seed, including when injected per-core panics knock
+    /// cores out.
+    #[test]
+    fn guarded_experiment_is_jobs_invariant(seed in 1u64..64, panic_mask in 0u8..4) {
+        use modsoc::analysis::experiment::{
+            run_soc_experiment_guarded_with, ExperimentOptions,
+        };
+        use modsoc::analysis::{AnalysisError, RunBudget};
+        use modsoc::atpg::{Atpg, AtpgOptions};
+        use modsoc::circuitgen::soc::mini_soc;
+
+        let netlist = mini_soc(seed).expect("builds");
+        let engine = Atpg::new(AtpgOptions::default());
+        let run = |jobs: usize| {
+            let options = ExperimentOptions::paper_tables_1_2().with_jobs(jobs);
+            run_soc_experiment_guarded_with(
+                &netlist,
+                &options,
+                &RunBudget::unlimited(),
+                |i, circuit| {
+                    if panic_mask & (1 << i) != 0 {
+                        panic!("injected panic in core {i}");
+                    }
+                    engine
+                        .run_budgeted(circuit, &RunBudget::unlimited())
+                        .map_err(AnalysisError::from)
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(&p.per_core_outcomes, &s.per_core_outcomes);
+                prop_assert_eq!(p.exhausted, s.exhausted);
+                prop_assert_eq!(p.result.t_mono, s.result.t_mono);
+                prop_assert_eq!(p.result.eq2_strict, s.result.eq2_strict);
+                let rows = |e: &modsoc::analysis::experiment::SocExperiment| {
+                    e.cores
+                        .iter()
+                        .map(|c| (c.name.clone(), c.patterns, c.stats.detected))
+                        .collect::<Vec<_>>()
+                };
+                prop_assert_eq!(rows(&p.result), rows(&s.result));
+                prop_assert_eq!(
+                    p.result.analysis.modular().total(),
+                    s.result.analysis.modular().total()
+                );
+                prop_assert_eq!(
+                    p.result.analysis.reduction_ratio(),
+                    s.result.analysis.reduction_ratio()
+                );
+            }
+            // Every core panicked: both job counts must agree on the
+            // terminal error too.
+            (Err(se), Err(pe)) => prop_assert_eq!(pe.to_string(), se.to_string()),
+            (s, p) => prop_assert!(false, "divergent termination: {s:?} vs {p:?}"),
+        }
+    }
+}

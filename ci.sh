@@ -19,6 +19,11 @@ echo "== chaos suite (fixed seed)"
 # vendored proptest streams on top so the whole gate is reproducible.
 PROPTEST_SEED=20080310 cargo test -q --test chaos --test parser_fuzz
 
+echo "== criterion bench smoke (--test mode, no timing)"
+# Each bench closure runs exactly once: catches benches that panic or
+# drift out of sync with the library API without paying measurement time.
+cargo bench -q -p modsoc-bench --bench atpg_engine -- --test
+
 echo "== parallel determinism gate (--jobs 1 vs --jobs 4)"
 # The worker pool's contract: reports are byte-identical at any --jobs
 # value. Diverging output here means an order-dependent merge crept in.

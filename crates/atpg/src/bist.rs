@@ -257,18 +257,20 @@ pub fn run_hybrid(
     bist_patterns: usize,
     backtrack_limit: u32,
 ) -> Result<HybridOutcome, AtpgError> {
-    use crate::collapse::collapse_faults;
     use crate::pattern::TestSet;
     use crate::podem::{Podem, PodemOutcome};
 
-    let reps = collapse_faults(circuit).representatives().to_vec();
+    let sindex = std::sync::Arc::new(modsoc_netlist::StructuralIndex::build(circuit)?);
+    let reps = crate::collapse::collapse_faults_with(circuit, &sindex)
+        .representatives()
+        .to_vec();
     let width = circuit.input_count();
     let bist = evaluate_bist(circuit, &reps, lfsr.clone(), bist_patterns)?;
 
     // Per-fault BIST detection status (evaluate_bist reports aggregates;
     // it is deterministic, so replaying a clone of the caller's LFSR
     // reproduces the exact stream).
-    let mut fsim = FaultSimulator::new(circuit)?;
+    let mut fsim = FaultSimulator::with_index(circuit, std::sync::Arc::clone(&sindex))?;
     let mut detected = vec![false; reps.len()];
     let mut replay = lfsr;
     let mut applied = 0usize;
@@ -294,7 +296,7 @@ pub fn run_hybrid(
     }
 
     // Deterministic top-up for the leftovers, with fault dropping.
-    let podem = Podem::new(circuit, backtrack_limit)?;
+    let mut podem = Podem::with_index(circuit, sindex, backtrack_limit)?;
     let mut top_up = TestSet::new(width);
     for i in 0..reps.len() {
         if detected[i] {

@@ -15,9 +15,9 @@
 
 use std::collections::HashMap;
 
-use modsoc_netlist::{Circuit, GateKind};
+use modsoc_netlist::{Circuit, GateKind, StructuralIndex};
 
-use crate::fault::{enumerate_faults, Fault, FaultSite};
+use crate::fault::{enumerate_faults_with, Fault, FaultSite};
 
 /// The result of collapsing: representative faults plus the class map.
 #[derive(Debug, Clone)]
@@ -69,24 +69,25 @@ impl CollapsedFaults {
 /// rules allow (checkpoint-like behaviour).
 #[must_use]
 pub fn collapse_faults(circuit: &Circuit) -> CollapsedFaults {
-    let universe = enumerate_faults(circuit);
+    let index = StructuralIndex::build(circuit)
+        .expect("fault collapsing requires an indexable (acyclic) circuit");
+    collapse_faults_with(circuit, &index)
+}
+
+/// [`collapse_faults`] against a prebuilt [`StructuralIndex`]; the engine
+/// threads its per-run index through here so the fanout adjacency is
+/// computed exactly once per circuit.
+#[must_use]
+pub fn collapse_faults_with(circuit: &Circuit, sidx: &StructuralIndex) -> CollapsedFaults {
+    let universe = enumerate_faults_with(circuit, sidx);
     let index: HashMap<Fault, usize> = universe.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut uf = UnionFind::new(universe.len());
-    let fanouts = circuit.fanouts();
-    let output_marks = {
-        let mut marks = vec![0usize; circuit.node_count()];
-        for &po in circuit.outputs() {
-            marks[po.index()] += 1;
-        }
-        marks
-    };
 
     // The fault on the line feeding pin `pin` of `gate`: a true branch has
     // its own pin fault; a single-fanout line aliases the driver's stem.
     let line_fault = |gate: modsoc_netlist::NodeId, pin: usize, sa1: bool| -> Fault {
         let driver = circuit.node(gate).fanin[pin];
-        let fanout = fanouts[driver.index()].len() + output_marks[driver.index()];
-        if fanout > 1 {
+        if sidx.branch_count(driver) > 1 {
             Fault::pin(gate, pin, sa1)
         } else {
             Fault {

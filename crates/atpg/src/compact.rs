@@ -12,7 +12,9 @@
 //!   re-simulates the final filled patterns from last to first and drops
 //!   any pattern that detects no fault that later-kept patterns miss.
 
-use modsoc_netlist::Circuit;
+use std::sync::Arc;
+
+use modsoc_netlist::{Circuit, StructuralIndex};
 
 use crate::error::AtpgError;
 use crate::fault::Fault;
@@ -65,8 +67,34 @@ pub fn reverse_order_compaction(
     if patterns.is_empty() || faults.is_empty() {
         return Ok(patterns.clone());
     }
+    reverse_order_compaction_indexed(
+        circuit,
+        &Arc::new(StructuralIndex::build(circuit)?),
+        patterns,
+        faults,
+        fill,
+    )
+}
+
+/// [`reverse_order_compaction`] against a prebuilt shared
+/// [`StructuralIndex`], so the engine's per-run index feeds the
+/// compaction simulator instead of rebuilding the fanout adjacency.
+///
+/// # Errors
+///
+/// Propagates fault-simulator construction and width errors.
+pub fn reverse_order_compaction_indexed(
+    circuit: &Circuit,
+    index: &Arc<StructuralIndex>,
+    patterns: &TestSet,
+    faults: &[Fault],
+    fill: FillStrategy,
+) -> Result<TestSet, AtpgError> {
+    if patterns.is_empty() || faults.is_empty() {
+        return Ok(patterns.clone());
+    }
     let filled = patterns.fill_all(fill);
-    let mut fsim = FaultSimulator::new(circuit)?;
+    let mut fsim = FaultSimulator::with_index(circuit, Arc::clone(index))?;
 
     // Detection matrix: per pattern, which fault indices it detects.
     let mut detects: Vec<Vec<u32>> = vec![Vec::new(); patterns.len()];

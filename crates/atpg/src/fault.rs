@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use modsoc_netlist::{Circuit, GateKind, NodeId};
+use modsoc_netlist::{Circuit, GateKind, NodeId, StructuralIndex};
 
 /// Where a fault sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,14 +120,16 @@ pub enum FaultStatus {
 /// stem and therefore skipped at enumeration time already.
 #[must_use]
 pub fn enumerate_faults(circuit: &Circuit) -> Vec<Fault> {
-    let fanouts = circuit.fanouts();
-    let output_marks = {
-        let mut marks = vec![0usize; circuit.node_count()];
-        for &po in circuit.outputs() {
-            marks[po.index()] += 1;
-        }
-        marks
-    };
+    let index = StructuralIndex::build(circuit)
+        .expect("fault enumeration requires an indexable (acyclic) circuit");
+    enumerate_faults_with(circuit, &index)
+}
+
+/// [`enumerate_faults`] against a prebuilt [`StructuralIndex`], so callers
+/// that already hold one (the engine, collapsing) skip rebuilding the
+/// fanout adjacency per call.
+#[must_use]
+pub fn enumerate_faults_with(circuit: &Circuit, index: &StructuralIndex) -> Vec<Fault> {
     let mut faults = Vec::new();
     for (id, node) in circuit.iter() {
         if matches!(node.kind, GateKind::Const0 | GateKind::Const1) {
@@ -142,8 +144,7 @@ pub fn enumerate_faults(circuit: &Circuit) -> Vec<Fault> {
         // Branch faults: one per pin whose driving stem has fanout > 1
         // (counting output pins as fanout consumers).
         for (pin, f) in node.fanin.iter().enumerate() {
-            let driver_fanout = fanouts[f.index()].len() + output_marks[f.index()];
-            if driver_fanout > 1 {
+            if index.branch_count(*f) > 1 {
                 for sa1 in [false, true] {
                     faults.push(Fault {
                         site: FaultSite::Pin { gate: id, pin },

@@ -7,9 +7,10 @@
 //! circuit.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use modsoc_netlist::sim::Simulator;
-use modsoc_netlist::{Circuit, GateKind, NodeId};
+use modsoc_netlist::{Circuit, GateKind, NodeId, StructuralIndex};
 
 use crate::budget::{ExhaustReason, RunBudget};
 use crate::error::AtpgError;
@@ -52,15 +53,15 @@ pub fn active_mask(n: usize) -> u64 {
 ///
 /// Holds reusable scratch buffers; create once and call
 /// [`FaultSimulator::detection_masks`] per 64-pattern batch. `Clone` is
-/// cheap relative to [`FaultSimulator::new`] (the topological order and
-/// fanout lists are copied, not recomputed), which is how the sharded
-/// entry points hand each worker thread its own simulator.
+/// cheap relative to [`FaultSimulator::new`] (the shared
+/// [`StructuralIndex`] is reference-counted, not recomputed), which is
+/// how the sharded entry points hand each worker thread its own
+/// simulator.
 #[derive(Debug, Clone)]
 pub struct FaultSimulator<'a> {
     circuit: &'a Circuit,
     sim: Simulator,
-    topo_pos: Vec<u32>,
-    fanouts: Vec<Vec<NodeId>>,
+    index: Arc<StructuralIndex>,
     // Scratch (epoch-stamped faulty values).
     faulty: Vec<u64>,
     stamp: Vec<u32>,
@@ -68,23 +69,42 @@ pub struct FaultSimulator<'a> {
 }
 
 impl<'a> FaultSimulator<'a> {
-    /// Build a fault simulator.
+    /// Build a fault simulator (and its own [`StructuralIndex`]).
     ///
     /// # Errors
     ///
     /// Fails on sequential or invalid circuits.
     pub fn new(circuit: &'a Circuit) -> Result<FaultSimulator<'a>, AtpgError> {
+        let index = Arc::new(StructuralIndex::build(circuit)?);
+        FaultSimulator::with_index(circuit, index)
+    }
+
+    /// Build a fault simulator borrowing a prebuilt shared index instead
+    /// of deriving a private one — the engine threads one index through
+    /// collapsing, PODEM, and every fault-simulation pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on sequential or invalid circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was built for a different circuit (node counts
+    /// disagree).
+    pub fn with_index(
+        circuit: &'a Circuit,
+        index: Arc<StructuralIndex>,
+    ) -> Result<FaultSimulator<'a>, AtpgError> {
+        assert_eq!(
+            index.node_count(),
+            circuit.node_count(),
+            "structural index does not match circuit"
+        );
         let sim = Simulator::new(circuit)?;
-        let order = circuit.topo_order()?;
-        let mut topo_pos = vec![0u32; circuit.node_count()];
-        for (pos, id) in order.iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
         Ok(FaultSimulator {
             circuit,
             sim,
-            topo_pos,
-            fanouts: circuit.fanouts(),
+            index,
             faulty: vec![0; circuit.node_count()],
             stamp: vec![0; circuit.node_count()],
             epoch: 0,
@@ -188,9 +208,9 @@ impl<'a> FaultSimulator<'a> {
             FaultSite::Stem(site) => {
                 if good[site.index()] != stuck_word {
                     self.set_faulty(site, stuck_word);
-                    for &fo in &self.fanouts[site.index()] {
+                    for &fo in self.index.fanouts(site) {
                         heap.push(std::cmp::Reverse((
-                            self.topo_pos[fo.index()],
+                            self.index.topo_pos(fo),
                             fo.index() as u32,
                         )));
                     }
@@ -200,9 +220,9 @@ impl<'a> FaultSimulator<'a> {
                 let v = self.eval_faulty(gate, good, Some((pin, stuck_word)));
                 if v != good[gate.index()] {
                     self.set_faulty(gate, v);
-                    for &fo in &self.fanouts[gate.index()] {
+                    for &fo in self.index.fanouts(gate) {
                         heap.push(std::cmp::Reverse((
-                            self.topo_pos[fo.index()],
+                            self.index.topo_pos(fo),
                             fo.index() as u32,
                         )));
                     }
@@ -229,9 +249,9 @@ impl<'a> FaultSimulator<'a> {
             // A stem fault site never re-evaluates (it has no upstream
             // events), so no special case needed here.
             self.set_faulty(id, v);
-            for &fo in &self.fanouts[id.index()] {
+            for &fo in self.index.fanouts(id) {
                 heap.push(std::cmp::Reverse((
-                    self.topo_pos[fo.index()],
+                    self.index.topo_pos(fo),
                     fo.index() as u32,
                 )));
             }
@@ -358,13 +378,12 @@ pub fn fault_coverage(
 /// A worker panic is re-raised on the calling thread after the scope
 /// joins (payload preserved).
 fn run_sharded<T: Send>(
-    circuit: &Circuit,
+    mut proto: FaultSimulator<'_>,
     faults: &[Fault],
     jobs: usize,
     per_shard: impl Fn(&mut FaultSimulator<'_>, &[Fault]) -> Result<Vec<T>, AtpgError> + Sync,
 ) -> Result<Vec<T>, AtpgError> {
     let jobs = jobs.max(1);
-    let mut proto = FaultSimulator::new(circuit)?;
     if jobs == 1 || faults.len() < 2 * jobs {
         return per_shard(&mut proto, faults);
     }
@@ -421,16 +440,21 @@ pub fn detection_counts_threaded(
     faults: &[Fault],
     jobs: usize,
 ) -> Result<Vec<u32>, AtpgError> {
-    run_sharded(circuit, faults, jobs, |fsim, shard| {
-        let mut counts = vec![0u32; shard.len()];
-        for chunk in patterns.chunks(64) {
-            let masks = fsim.detection_masks(chunk, shard)?;
-            for (c, m) in counts.iter_mut().zip(masks) {
-                *c += m.count_ones();
+    run_sharded(
+        FaultSimulator::new(circuit)?,
+        faults,
+        jobs,
+        |fsim, shard| {
+            let mut counts = vec![0u32; shard.len()];
+            for chunk in patterns.chunks(64) {
+                let masks = fsim.detection_masks(chunk, shard)?;
+                for (c, m) in counts.iter_mut().zip(masks) {
+                    *c += m.count_ones();
+                }
             }
-        }
-        Ok(counts)
-    })
+            Ok(counts)
+        },
+    )
 }
 
 /// Which faults the pattern set detects at all: the boolean reduction of
@@ -447,7 +471,38 @@ pub fn detected_faults(
     faults: &[Fault],
     jobs: usize,
 ) -> Result<Vec<bool>, AtpgError> {
-    run_sharded(circuit, faults, jobs, |fsim, shard| {
+    detected_faults_via(FaultSimulator::new(circuit)?, patterns, faults, jobs)
+}
+
+/// [`detected_faults`] against a prebuilt shared [`StructuralIndex`]:
+/// every worker clone borrows the same index instead of re-deriving the
+/// fanout adjacency and topological order per call.
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detected_faults_indexed(
+    circuit: &Circuit,
+    index: &Arc<StructuralIndex>,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+) -> Result<Vec<bool>, AtpgError> {
+    detected_faults_via(
+        FaultSimulator::with_index(circuit, Arc::clone(index))?,
+        patterns,
+        faults,
+        jobs,
+    )
+}
+
+fn detected_faults_via(
+    proto: FaultSimulator<'_>,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+) -> Result<Vec<bool>, AtpgError> {
+    run_sharded(proto, faults, jobs, |fsim, shard| {
         let mut detected = vec![false; shard.len()];
         for chunk in patterns.chunks(64) {
             let masks = fsim.detection_masks(chunk, shard)?;
@@ -479,9 +534,12 @@ pub fn detection_masks_threaded(
     faults: &[Fault],
     threads: usize,
 ) -> Result<Vec<u64>, AtpgError> {
-    run_sharded(circuit, faults, threads, |fsim, shard| {
-        fsim.detection_masks(patterns, shard)
-    })
+    run_sharded(
+        FaultSimulator::new(circuit)?,
+        faults,
+        threads,
+        |fsim, shard| fsim.detection_masks(patterns, shard),
+    )
 }
 
 #[cfg(test)]

@@ -400,8 +400,15 @@ fn run_tdf_over(
     budget: &crate::budget::RunBudget,
 ) -> Result<TdfResult, AtpgError> {
     let faults = enumerate_transition_faults(&model.circuit);
-    let podem = Podem::new(&two.circuit, backtrack_limit)?;
-    let mut fsim = FaultSimulator::new(&two.circuit)?;
+    // The unrolled circuit's structural index is shared between the
+    // generator and the simulator.
+    let sindex = std::sync::Arc::new(modsoc_netlist::StructuralIndex::build(&two.circuit)?);
+    let mut podem = Podem::with_index(
+        &two.circuit,
+        std::sync::Arc::clone(&sindex),
+        backtrack_limit,
+    )?;
+    let mut fsim = FaultSimulator::with_index(&two.circuit, sindex)?;
 
     let width = two.circuit.input_count();
     let mut patterns = TestSet::new(width);

@@ -115,7 +115,7 @@ proptest! {
 
     #[test]
     fn podem_results_are_sound(circuit in arb_circuit()) {
-        let podem = Podem::new(&circuit, 500).expect("podem");
+        let mut podem = Podem::new(&circuit, 500).expect("podem");
         let sim = Simulator::new(&circuit).expect("sim");
         for fault in collapse_faults(&circuit).representatives() {
             match podem.generate(*fault).expect("generate") {

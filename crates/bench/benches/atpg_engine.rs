@@ -5,8 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use modsoc_atpg::collapse::collapse_faults;
+use modsoc_atpg::fault::Fault;
 use modsoc_atpg::fault_sim::FaultSimulator;
-use modsoc_atpg::podem::Podem;
+use modsoc_atpg::podem::{Podem, PodemOutcome};
 use modsoc_atpg::{Atpg, AtpgOptions};
 use modsoc_circuitgen::{generate, profile::iscas, CoreProfile};
 
@@ -33,12 +34,46 @@ fn bench_atpg(c: &mut Criterion) {
 
     group.throughput(Throughput::Elements(1));
     group.bench_function("podem_single_fault_s713", |b| {
-        let podem = Podem::new(&model, 200).expect("builds");
+        let mut podem = Podem::new(&model, 200).expect("builds");
         let fault = faults[faults.len() / 2];
         b.iter(|| podem.generate(black_box(fault)).expect("generates"))
     });
 
+    // The largest circuitgen profile (s13207 lookalike): the hot path the
+    // cone-restricted incremental PODEM is measured on.
+    let big = generate(&iscas::s13207(1)).expect("generates");
+    let big_model = big.to_test_model().expect("models").circuit;
+    let big_faults: Vec<Fault> = collapse_faults(&big_model)
+        .representatives()
+        .iter()
+        .copied()
+        .step_by(199)
+        .collect();
+
+    group.throughput(Throughput::Elements(big_faults.len() as u64));
+    group.bench_function("podem_fault_sweep_s13207", |b| {
+        let mut podem = Podem::new(&big_model, 200).expect("builds");
+        b.iter(|| {
+            let mut tests = 0usize;
+            for &f in &big_faults {
+                if matches!(
+                    podem.generate(black_box(f)).expect("generates"),
+                    PodemOutcome::Test(_)
+                ) {
+                    tests += 1;
+                }
+            }
+            tests
+        })
+    });
+
     group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("engine_full_run_s13207", |b| {
+        let engine = Atpg::new(AtpgOptions::default());
+        b.iter(|| engine.run(black_box(&big)).expect("runs").pattern_count())
+    });
+
     group.bench_function("engine_full_run_s713", |b| {
         let engine = Atpg::new(AtpgOptions::default());
         b.iter(|| engine.run(black_box(&core)).expect("runs").pattern_count())

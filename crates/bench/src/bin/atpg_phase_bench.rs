@@ -1,0 +1,155 @@
+//! Per-phase ATPG wall-clock benchmark over circuitgen profiles.
+//!
+//! Times the pieces the shared-structural-index rework touches, one
+//! profile per row: index construction, fault collapsing, a PODEM sweep
+//! over the collapsed representatives, and the full engine run (whose
+//! pattern counts are the paper's core quantity). With `--json <path>`
+//! the measurements are also written as a JSON document so successive
+//! runs can be diffed; the checked-in `BENCH_pr3.json` records the
+//! numbers at the time the incremental PODEM landed.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use modsoc_atpg::collapse::collapse_faults_with;
+use modsoc_atpg::engine::{Atpg, AtpgOptions};
+use modsoc_atpg::fault::Fault;
+use modsoc_atpg::podem::{Podem, PodemOutcome};
+use modsoc_circuitgen::profile::iscas;
+use modsoc_circuitgen::{generate, CoreProfile};
+use modsoc_netlist::StructuralIndex;
+
+struct PhaseRow {
+    profile: String,
+    gates: usize,
+    collapsed_faults: usize,
+    index_ms: f64,
+    collapse_ms: f64,
+    podem_sweep_ms: f64,
+    podem_tests: usize,
+    engine_ms: f64,
+    patterns: usize,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn measure(profile: &CoreProfile) -> Result<PhaseRow, Box<dyn std::error::Error>> {
+    let circuit = generate(profile)?;
+    let model = circuit.to_test_model()?.circuit;
+
+    let t = Instant::now();
+    let index = Arc::new(StructuralIndex::build(&model)?);
+    let index_ms = ms(t);
+
+    let t = Instant::now();
+    let collapsed = collapse_faults_with(&model, &index);
+    let collapse_ms = ms(t);
+    let reps: Vec<Fault> = collapsed.representatives().to_vec();
+
+    let t = Instant::now();
+    let mut podem = Podem::with_index(&model, Arc::clone(&index), 200)?;
+    let mut podem_tests = 0usize;
+    for &f in &reps {
+        if matches!(podem.generate(f)?, PodemOutcome::Test(_)) {
+            podem_tests += 1;
+        }
+    }
+    let podem_sweep_ms = ms(t);
+
+    let t = Instant::now();
+    let result = Atpg::new(AtpgOptions::default()).run(&circuit)?;
+    let engine_ms = ms(t);
+
+    Ok(PhaseRow {
+        profile: profile.name.clone(),
+        gates: model.node_count(),
+        collapsed_faults: reps.len(),
+        index_ms,
+        collapse_ms,
+        podem_sweep_ms,
+        podem_tests,
+        engine_ms,
+        patterns: result.pattern_count(),
+    })
+}
+
+fn json_document(rows: &[PhaseRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"atpg_phase_bench\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"profile\": \"{}\", \"gates\": {}, \"collapsed_faults\": {}, \
+             \"index_ms\": {:.3}, \"collapse_ms\": {:.3}, \"podem_sweep_ms\": {:.3}, \
+             \"podem_tests\": {}, \"engine_ms\": {:.3}, \"patterns\": {}}}{sep}",
+            r.profile,
+            r.gates,
+            r.collapsed_faults,
+            r.index_ms,
+            r.collapse_ms,
+            r.podem_sweep_ms,
+            r.podem_tests,
+            r.engine_ms,
+            r.patterns,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(it.next().ok_or("--json requires a path argument")?.clone());
+            }
+            "--quick" => quick = true,
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
+    let mut profiles = vec![iscas::s713(1), iscas::s1423(1)];
+    if !quick {
+        profiles.push(iscas::s13207(1));
+    }
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>7} {:>7} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "profile",
+        "gates",
+        "faults",
+        "index ms",
+        "collapse ms",
+        "podem ms",
+        "engine ms",
+        "patterns"
+    );
+    for p in &profiles {
+        let row = measure(p)?;
+        println!(
+            "{:<10} {:>7} {:>7} {:>10.3} {:>12.3} {:>14.1} {:>10.1} {:>10}",
+            row.profile,
+            row.gates,
+            row.collapsed_faults,
+            row.index_ms,
+            row.collapse_ms,
+            row.podem_sweep_ms,
+            row.engine_ms,
+            row.patterns
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_document(&rows))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

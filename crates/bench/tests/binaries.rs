@@ -72,3 +72,27 @@ fn ablation_binary_reports_all_sweeps() {
     assert!(text.contains("Ablation 4"));
     assert!(text.contains("crossover observed: true"));
 }
+
+#[test]
+fn atpg_phase_bench_writes_json() {
+    let dir = std::env::temp_dir().join("modsoc_phase_bench_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("phases.json");
+    let text = run(
+        env!("CARGO_BIN_EXE_atpg_phase_bench"),
+        &["--quick", "--json", path.to_str().unwrap()],
+    );
+    assert!(text.contains("s1423"), "{text}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    for key in [
+        "\"bench\": \"atpg_phase_bench\"",
+        "\"index_ms\"",
+        "\"collapse_ms\"",
+        "\"podem_sweep_ms\"",
+        "\"engine_ms\"",
+        "\"patterns\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -40,6 +40,7 @@ pub mod circuit;
 pub mod cone;
 pub mod error;
 pub mod gate;
+pub mod index;
 pub mod scan;
 pub mod scan_chain;
 pub mod sim;
@@ -50,5 +51,6 @@ pub mod wrapper;
 pub use circuit::{Circuit, NodeId, PortDirection};
 pub use error::NetlistError;
 pub use gate::GateKind;
+pub use index::StructuralIndex;
 pub use scan::{TestModel, TestPoint};
 pub use stats::CircuitStats;

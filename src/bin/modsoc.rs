@@ -70,6 +70,7 @@ const USAGE: &str = "usage:
                            [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
   modsoc cones <file.bench>
+  modsoc index <file.bench>
   modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
   modsoc demo <soc1|soc2|p34392|table4>
 
@@ -84,6 +85,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         Some("atpg") => cmd_atpg(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("cones") => cmd_cones(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("tdf") => cmd_tdf(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
@@ -463,6 +465,46 @@ fn cmd_cones(args: &[String]) -> Result<RunStatus, String> {
         cones.mean_width(),
         cones.overlapping_pairs(),
         cones.overlap_fraction()
+    );
+    Ok(RunStatus::Complete)
+}
+
+fn cmd_index(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(args, &[], &[])?;
+    let path = positional(args).ok_or("index needs a .bench file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let circuit = parse_bench("c", &text).map_err(|e| e.to_string())?;
+    let model = if circuit.is_combinational() {
+        circuit
+    } else {
+        circuit.to_test_model().map_err(|e| e.to_string())?.circuit
+    };
+    let index = modsoc::netlist::StructuralIndex::build(&model).map_err(|e| e.to_string())?;
+    let n = index.node_count();
+    let edges = (0..n)
+        .map(|i| index.fanout_degree(modsoc::netlist::NodeId::from_index(i)))
+        .sum::<usize>();
+    let max_level = (0..n)
+        .map(|i| index.level(modsoc::netlist::NodeId::from_index(i)))
+        .max()
+        .unwrap_or(0);
+    let dead = (0..n)
+        .filter(|&i| !index.reaches_any_output(modsoc::netlist::NodeId::from_index(i)))
+        .count();
+    let mean_cone = if n == 0 {
+        0.0
+    } else {
+        (0..n)
+            .map(|i| {
+                index
+                    .fanout_cone(modsoc::netlist::NodeId::from_index(i))
+                    .len()
+            })
+            .sum::<usize>() as f64
+            / n as f64
+    };
+    println!(
+        "{n} nodes | {edges} fanout edges | depth {max_level} | {dead} dead nodes | mean fanout cone {mean_cone:.1}"
     );
     Ok(RunStatus::Complete)
 }

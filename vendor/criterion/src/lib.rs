@@ -29,11 +29,19 @@ pub enum Throughput {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Time `f`, collecting `sample_size` samples after a warmup pass.
+    /// In test mode (`--test`, as in upstream `cargo bench -- --test`)
+    /// the closure runs exactly once and nothing is measured.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples.clear();
+            return;
+        }
         // Warmup + calibration: find an iteration count that lasts
         // roughly a millisecond so short closures get stable samples.
         let mut iters: u64 = 1;
@@ -103,28 +111,38 @@ fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
 #[derive(Debug, Default)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Criterion {
     /// Driver with default settings (10 samples per benchmark).
     #[must_use]
     pub fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+        }
     }
 
-    /// Compatibility no-op (upstream parses CLI flags here).
+    /// Parse the harness CLI: only `--test` is honoured (run each
+    /// benchmark body once without measuring — the smoke mode
+    /// `cargo bench -- --test` provides upstream); other flags are
+    /// accepted and ignored.
     #[must_use]
-    pub fn configure_from_args(self) -> Criterion {
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().skip(1).any(|a| a == "--test");
         self
     }
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             throughput: None,
             sample_size: 10,
+            test_mode,
         }
     }
 
@@ -137,9 +155,14 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        report(name.as_ref(), b.median(), None);
+        if self.test_mode {
+            println!("{:<48} test ok", name.as_ref());
+        } else {
+            report(name.as_ref(), b.median(), None);
+        }
         self
     }
 }
@@ -150,6 +173,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -179,13 +203,18 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut b);
-        report(
-            &format!("{}/{}", self.name, name.as_ref()),
-            b.median(),
-            self.throughput,
-        );
+        if self.test_mode {
+            println!("{}/{:<40} test ok", self.name, name.as_ref());
+        } else {
+            report(
+                &format!("{}/{}", self.name, name.as_ref()),
+                b.median(),
+                self.throughput,
+            );
+        }
         self
     }
 

@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the full test suite, and the chaos
-# sweeps under a pinned seed. Run from the repo root; exits nonzero on
-# the first failure.
+# Local CI gate: formatting, lints, the full test suite, the chaos
+# sweeps under a pinned seed, CLI smoke runs, and the parallel/metrics
+# determinism gates. Run from the repo root; exits nonzero on the first
+# failure.
+#
+# Opt-in extras:
+#   MODSOC_BENCH_GATE=1 ./ci.sh   also runs the perf-regression gate
+#                                 (atpg_phase_bench --check BENCH_pr3.json).
+#                                 Keep it off on noisy/shared machines; to
+#                                 re-baseline after an intentional perf
+#                                 change, run the bench with
+#                                 --json BENCH_pr3.json and commit the file.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -23,18 +35,44 @@ echo "== criterion bench smoke (--test mode, no timing)"
 # Each bench closure runs exactly once: catches benches that panic or
 # drift out of sync with the library API without paying measurement time.
 cargo bench -q -p modsoc-bench --bench atpg_engine -- --test
+cargo bench -q -p modsoc-bench --bench metrics_overhead -- --test
+
+echo "== CLI smoke runs"
+cargo build -q --release --bin modsoc
+./target/release/modsoc index testdata/soc2.soc
+./target/release/modsoc experiment soc2 --jobs 4 > "$workdir/soc2_smoke.txt"
+grep -q "monolithic ATPG" "$workdir/soc2_smoke.txt" \
+  || { echo "FAIL: experiment soc2 produced no monolithic summary"; exit 1; }
 
 echo "== parallel determinism gate (--jobs 1 vs --jobs 4)"
 # The worker pool's contract: reports are byte-identical at any --jobs
 # value. Diverging output here means an order-dependent merge crept in.
-cargo build -q --release --bin modsoc
-./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 1 > /tmp/modsoc_jobs1.txt
-./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 4 > /tmp/modsoc_jobs4.txt
-diff /tmp/modsoc_jobs1.txt /tmp/modsoc_jobs4.txt \
+./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 1 > "$workdir/jobs1.txt"
+./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 4 > "$workdir/jobs4.txt"
+diff "$workdir/jobs1.txt" "$workdir/jobs4.txt" \
   || { echo "FAIL: analyze output diverges between --jobs 1 and --jobs 4"; exit 1; }
-./target/release/modsoc experiment mini --jobs 1 > /tmp/modsoc_exp1.txt
-./target/release/modsoc experiment mini --jobs 4 > /tmp/modsoc_exp4.txt
-diff /tmp/modsoc_exp1.txt /tmp/modsoc_exp4.txt \
+./target/release/modsoc experiment mini --jobs 1 > "$workdir/exp1.txt"
+./target/release/modsoc experiment mini --jobs 4 > "$workdir/exp4.txt"
+diff "$workdir/exp1.txt" "$workdir/exp4.txt" \
   || { echo "FAIL: experiment output diverges between --jobs 1 and --jobs 4"; exit 1; }
+
+echo "== metrics determinism gate (counters identical at --jobs 1 vs --jobs 4)"
+# The metrics layer's contract: every report field except wall times
+# (*_ms), the sched objects and the jobs field itself is deterministic.
+# The serializer puts each volatile field on its own line so this filter
+# strips exactly the volatile subset.
+./target/release/modsoc experiment mini --jobs 1 --metrics "$workdir/m1.json" > /dev/null
+./target/release/modsoc experiment mini --jobs 4 --metrics "$workdir/m4.json" > /dev/null
+diff <(grep -vE '"(sched|jobs)": |_ms":' "$workdir/m1.json") \
+     <(grep -vE '"(sched|jobs)": |_ms":' "$workdir/m4.json") \
+  || { echo "FAIL: metrics counters diverge between --jobs 1 and --jobs 4"; exit 1; }
+
+if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
+  echo "== perf regression gate (atpg_phase_bench --check, +25% tolerance)"
+  cargo build -q --release -p modsoc-bench --bin atpg_phase_bench
+  ./target/release/atpg_phase_bench --check BENCH_pr3.json --tolerance 0.25
+else
+  echo "== perf regression gate skipped (set MODSOC_BENCH_GATE=1 to enable)"
+fi
 
 echo "CI gate passed."

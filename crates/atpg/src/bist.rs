@@ -257,8 +257,36 @@ pub fn run_hybrid(
     bist_patterns: usize,
     backtrack_limit: u32,
 ) -> Result<HybridOutcome, AtpgError> {
+    run_hybrid_metered(
+        circuit,
+        lfsr,
+        bist_patterns,
+        backtrack_limit,
+        &modsoc_metrics::NullSink,
+    )
+}
+
+/// [`run_hybrid`] reporting into a
+/// [`MetricsSink`](modsoc_metrics::MetricsSink): the whole flow is timed
+/// as one `bist` phase, with the applied-BIST and top-up pattern counts
+/// on the BIST counters. Results are identical to the unmetered entry
+/// point.
+///
+/// # Errors
+///
+/// Propagates fault-simulation and test-generation errors.
+pub fn run_hybrid_metered(
+    circuit: &Circuit,
+    lfsr: Lfsr,
+    bist_patterns: usize,
+    backtrack_limit: u32,
+    sink: &dyn modsoc_metrics::MetricsSink,
+) -> Result<HybridOutcome, AtpgError> {
     use crate::pattern::TestSet;
     use crate::podem::{Podem, PodemOutcome};
+    use modsoc_metrics::{Counter, Phase, PhaseTimer};
+
+    let timer = PhaseTimer::start(sink, Phase::Bist);
 
     let sindex = std::sync::Arc::new(modsoc_netlist::StructuralIndex::build(circuit)?);
     let reps = crate::collapse::collapse_faults_with(circuit, &sindex)
@@ -322,6 +350,9 @@ pub fn run_hybrid(
 
     let coverage = detected.iter().filter(|&&d| d).count() as f64 / reps.len().max(1) as f64;
     let external_stimulus_bits = top_up.stimulus_bits();
+    drop(timer);
+    sink.add(Counter::BistPatterns, applied as u64);
+    sink.add(Counter::BistTopUpPatterns, top_up.len() as u64);
     Ok(HybridOutcome {
         bist,
         top_up,

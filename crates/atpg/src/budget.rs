@@ -29,6 +29,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use modsoc_metrics::BudgetSnapshot;
+
 /// Which limit a run hit first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExhaustReason {
@@ -209,6 +211,21 @@ impl RunBudget {
         self.check()
     }
 
+    /// Point-in-time consumption snapshot for metrics reports: what this
+    /// budget was configured with and how much has drained so far.
+    /// Consumption counters are shared across clones, so a snapshot taken
+    /// from any clone reflects the whole run.
+    #[must_use]
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            backtracks_used: self.backtracks_used(),
+            max_backtracks: self.max_backtracks_total,
+            max_patterns: self.max_patterns.map(|n| n as u64),
+            deadline_set: self.deadline.is_some(),
+            cancelled: self.is_cancelled(),
+        }
+    }
+
     /// Build the diagnostic for a trip observed in `phase`.
     #[must_use]
     pub fn exhausted(
@@ -239,6 +256,26 @@ mod tests {
             assert_eq!(b.charge_backtrack(), None);
         }
         assert_eq!(b.backtracks_used(), 100);
+    }
+
+    #[test]
+    fn snapshot_reflects_configuration_and_consumption() {
+        let b = RunBudget::unlimited()
+            .with_max_backtracks(10)
+            .with_max_patterns(5);
+        for _ in 0..3 {
+            let _ = b.charge_backtrack();
+        }
+        let snap = b.snapshot();
+        assert_eq!(snap.backtracks_used, 3);
+        assert_eq!(snap.max_backtracks, Some(10));
+        assert_eq!(snap.max_patterns, Some(5));
+        assert!(!snap.deadline_set);
+        assert!(!snap.cancelled);
+        b.cancel();
+        assert!(b.snapshot().cancelled);
+        // A clone shares the same pools, so its snapshot agrees.
+        assert_eq!(b.clone().snapshot(), b.snapshot());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use modsoc_metrics::{Counter, MetricsSink, NullSink, Phase, PhaseTimer};
 use modsoc_netlist::{Circuit, GateKind, StructuralIndex};
 
 use crate::fault::{enumerate_faults_with, Fault, FaultSite};
@@ -79,7 +80,24 @@ pub fn collapse_faults(circuit: &Circuit) -> CollapsedFaults {
 /// computed exactly once per circuit.
 #[must_use]
 pub fn collapse_faults_with(circuit: &Circuit, sidx: &StructuralIndex) -> CollapsedFaults {
-    let universe = enumerate_faults_with(circuit, sidx);
+    collapse_faults_metered(circuit, sidx, &NullSink)
+}
+
+/// [`collapse_faults_with`] reporting into a [`MetricsSink`]: enumeration
+/// and collapsing are timed as separate phases, and the universe/class
+/// sizes land on the [`Counter::FaultsUniverse`] /
+/// [`Counter::FaultsCollapsed`] counters.
+#[must_use]
+pub fn collapse_faults_metered(
+    circuit: &Circuit,
+    sidx: &StructuralIndex,
+    sink: &dyn MetricsSink,
+) -> CollapsedFaults {
+    let universe = {
+        let _t = PhaseTimer::start(sink, Phase::FaultEnumerate);
+        enumerate_faults_with(circuit, sidx)
+    };
+    let _t = PhaseTimer::start(sink, Phase::FaultCollapse);
     let index: HashMap<Fault, usize> = universe.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut uf = UnionFind::new(universe.len());
 
@@ -155,6 +173,8 @@ pub fn collapse_faults_with(circuit: &Circuit, sidx: &StructuralIndex) -> Collap
         let root = uf.find(i);
         class_of.insert(f, class_index[&root]);
     }
+    sink.add(Counter::FaultsUniverse, class_of.len() as u64);
+    sink.add(Counter::FaultsCollapsed, representatives.len() as u64);
     CollapsedFaults {
         representatives,
         class_of,

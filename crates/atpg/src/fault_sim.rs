@@ -8,7 +8,9 @@
 
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use std::time::Instant;
 
+use modsoc_metrics::{MetricsSink, NullSink};
 use modsoc_netlist::sim::Simulator;
 use modsoc_netlist::{Circuit, GateKind, NodeId, StructuralIndex};
 
@@ -377,23 +379,42 @@ pub fn fault_coverage(
 ///
 /// A worker panic is re-raised on the calling thread after the scope
 /// joins (payload preserved).
+///
+/// When `sink` is enabled, each shard reports a worker-utilization row
+/// (shard index, faults claimed, busy wall time). Rows are
+/// scheduling-dependent and excluded from the determinism contract; the
+/// computed results are unaffected.
 fn run_sharded<T: Send>(
     mut proto: FaultSimulator<'_>,
     faults: &[Fault],
     jobs: usize,
+    sink: &dyn MetricsSink,
     per_shard: impl Fn(&mut FaultSimulator<'_>, &[Fault]) -> Result<Vec<T>, AtpgError> + Sync,
 ) -> Result<Vec<T>, AtpgError> {
+    let timed = |shard_idx: usize,
+                 fsim: &mut FaultSimulator<'_>,
+                 shard: &[Fault]|
+     -> Result<Vec<T>, AtpgError> {
+        let start = sink.enabled().then(Instant::now);
+        let out = per_shard(fsim, shard);
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.worker(shard_idx, shard.len() as u64, nanos);
+        }
+        out
+    };
     let jobs = jobs.max(1);
     if jobs == 1 || faults.len() < 2 * jobs {
-        return per_shard(&mut proto, faults);
+        return timed(0, &mut proto, faults);
     }
     let chunk_len = faults.len().div_ceil(jobs);
     let results: Vec<Result<Vec<T>, AtpgError>> = std::thread::scope(|scope| {
         let proto = &proto;
-        let per_shard = &per_shard;
+        let timed = &timed;
         let handles: Vec<_> = faults
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || per_shard(&mut proto.clone(), chunk)))
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || timed(i, &mut proto.clone(), chunk)))
             .collect();
         handles
             .into_iter()
@@ -444,6 +465,7 @@ pub fn detection_counts_threaded(
         FaultSimulator::new(circuit)?,
         faults,
         jobs,
+        &NullSink,
         |fsim, shard| {
             let mut counts = vec![0u32; shard.len()];
             for chunk in patterns.chunks(64) {
@@ -488,11 +510,31 @@ pub fn detected_faults_indexed(
     faults: &[Fault],
     jobs: usize,
 ) -> Result<Vec<bool>, AtpgError> {
-    detected_faults_via(
+    detected_faults_indexed_metered(circuit, index, patterns, faults, jobs, &NullSink)
+}
+
+/// [`detected_faults_indexed`] reporting per-shard worker-utilization
+/// rows into a [`MetricsSink`] (shard index, faults claimed, busy wall
+/// time). The computed detection results are byte-identical to the
+/// unmetered entry point at any `jobs` value.
+///
+/// # Errors
+///
+/// Propagates simulator construction and pattern width errors.
+pub fn detected_faults_indexed_metered(
+    circuit: &Circuit,
+    index: &Arc<StructuralIndex>,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+    sink: &dyn MetricsSink,
+) -> Result<Vec<bool>, AtpgError> {
+    detected_faults_via_sink(
         FaultSimulator::with_index(circuit, Arc::clone(index))?,
         patterns,
         faults,
         jobs,
+        sink,
     )
 }
 
@@ -502,7 +544,17 @@ fn detected_faults_via(
     faults: &[Fault],
     jobs: usize,
 ) -> Result<Vec<bool>, AtpgError> {
-    run_sharded(proto, faults, jobs, |fsim, shard| {
+    detected_faults_via_sink(proto, patterns, faults, jobs, &NullSink)
+}
+
+fn detected_faults_via_sink(
+    proto: FaultSimulator<'_>,
+    patterns: &[Vec<bool>],
+    faults: &[Fault],
+    jobs: usize,
+    sink: &dyn MetricsSink,
+) -> Result<Vec<bool>, AtpgError> {
+    run_sharded(proto, faults, jobs, sink, |fsim, shard| {
         let mut detected = vec![false; shard.len()];
         for chunk in patterns.chunks(64) {
             let masks = fsim.detection_masks(chunk, shard)?;
@@ -538,6 +590,7 @@ pub fn detection_masks_threaded(
         FaultSimulator::new(circuit)?,
         faults,
         threads,
+        &NullSink,
         |fsim, shard| fsim.detection_masks(patterns, shard),
     )
 }

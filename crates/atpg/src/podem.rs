@@ -38,6 +38,28 @@ use crate::pattern::{Bit, TestCube};
 use crate::testability::Testability;
 use crate::value::{eval_gate, V5};
 
+/// Cumulative search-effort counters for one [`Podem`] instance,
+/// accumulated across every `generate*` call since construction.
+///
+/// These are functions of the decision sequence, which is deterministic,
+/// so they feed the metrics layer's jobs-invariance contract: an engine
+/// run reports the same totals at any `--jobs` level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PodemSearchStats {
+    /// `generate*` invocations that reached the decision loop.
+    pub calls: u64,
+    /// Searches that produced a test cube.
+    pub tests: u64,
+    /// Searches that proved the fault redundant.
+    pub redundant: u64,
+    /// Searches aborted at a backtrack/budget limit.
+    pub aborted: u64,
+    /// Fresh input decisions pushed on the decision stack.
+    pub decisions: u64,
+    /// Backtracks (decision flips after a conflict).
+    pub backtracks: u64,
+}
+
 /// Outcome of a single-fault PODEM run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PodemOutcome {
@@ -92,6 +114,8 @@ pub struct Podem<'a> {
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Nodes changed by the most recent propagation or undo.
     touched: Vec<NodeId>,
+    /// Cumulative search-effort counters (see [`PodemSearchStats`]).
+    stats: PodemSearchStats,
 }
 
 impl<'a> Podem<'a> {
@@ -168,7 +192,14 @@ impl<'a> Podem<'a> {
             xreach_epoch: 0,
             heap: BinaryHeap::new(),
             touched: Vec::new(),
+            stats: PodemSearchStats::default(),
         })
+    }
+
+    /// Cumulative search-effort counters since construction.
+    #[must_use]
+    pub fn search_stats(&self) -> PodemSearchStats {
+        self.stats
     }
 
     /// Generate a test for one stuck-at fault.
@@ -255,6 +286,13 @@ impl<'a> Podem<'a> {
         self.begin_fault(fault);
         let out = self.run_search(fault, constraints, budget);
         self.unwind_all();
+        self.stats.calls += 1;
+        match &out {
+            Ok(PodemOutcome::Test(_)) => self.stats.tests += 1,
+            Ok(PodemOutcome::Redundant) => self.stats.redundant += 1,
+            Ok(PodemOutcome::Aborted) => self.stats.aborted += 1,
+            Err(_) => {}
+        }
         out
     }
 
@@ -314,6 +352,7 @@ impl<'a> Podem<'a> {
 
             match decision {
                 Some((pi, v)) => {
+                    self.stats.decisions += 1;
                     assignment[pi] = Some(v);
                     stack.push((pi, v, false));
                     self.assign_input(fault, pi, v);
@@ -327,6 +366,7 @@ impl<'a> Podem<'a> {
                                 assignment[pi] = None;
                                 if !tried_both {
                                     backtracks += 1;
+                                    self.stats.backtracks += 1;
                                     if backtracks > self.backtrack_limit {
                                         return Ok(PodemOutcome::Aborted);
                                     }

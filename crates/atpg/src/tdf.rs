@@ -393,6 +393,35 @@ pub fn run_tdf_atpg_budgeted(
     run_tdf_over(&model, &two, backtrack_limit, budget)
 }
 
+/// [`run_tdf_atpg_budgeted`] reporting into a
+/// [`MetricsSink`](modsoc_metrics::MetricsSink): the whole flow is timed
+/// as one `tdf` phase, and the fault/detection/pattern totals land on the
+/// TDF counters. Results are identical to the unmetered entry point.
+///
+/// # Errors
+///
+/// Propagates netlist and test-generation errors.
+pub fn run_tdf_atpg_metered(
+    circuit: &Circuit,
+    backtrack_limit: u32,
+    scheme: LaunchScheme,
+    budget: &crate::budget::RunBudget,
+    sink: &dyn modsoc_metrics::MetricsSink,
+) -> Result<TdfResult, AtpgError> {
+    use modsoc_metrics::{Counter, Phase, PhaseTimer};
+    let result = {
+        let _t = PhaseTimer::start(sink, Phase::Tdf);
+        run_tdf_atpg_budgeted(circuit, backtrack_limit, scheme, budget)?
+    };
+    sink.add(Counter::TdfFaults, result.total as u64);
+    sink.add(Counter::TdfDetected, result.detected as u64);
+    sink.add(Counter::TdfPatterns, result.patterns.len() as u64);
+    if result.exhausted.is_some() {
+        sink.add(Counter::BudgetTrips, 1);
+    }
+    Ok(result)
+}
+
 fn run_tdf_over(
     model: &TestModel,
     two: &TwoFrame,

@@ -1,0 +1,36 @@
+//! Criterion bench for the metrics layer's overhead contract: a full
+//! engine run with the default [`NullSink`] must be indistinguishable
+//! from the pre-instrumentation engine (the sink is consulted a handful
+//! of times per *phase*, never per event), and even the recording sink
+//! should cost well under the acceptance budget (≤2%).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use modsoc_atpg::{Atpg, AtpgOptions};
+use modsoc_circuitgen::{generate, profile::iscas};
+use modsoc_metrics::{MetricsSink, RecordingSink};
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    let core = generate(&iscas::s1423(1)).expect("generates");
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("engine_s1423_null_sink", |b| {
+        let engine = Atpg::new(AtpgOptions::default());
+        b.iter(|| engine.run(black_box(&core)).expect("runs").pattern_count())
+    });
+
+    group.bench_function("engine_s1423_recording_sink", |b| {
+        let engine = Atpg::with_sink(
+            AtpgOptions::default(),
+            Arc::new(RecordingSink::new()) as Arc<dyn MetricsSink>,
+        );
+        b.iter(|| engine.run(black_box(&core)).expect("runs").pattern_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

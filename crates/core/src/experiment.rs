@@ -15,6 +15,7 @@
 
 use modsoc_atpg::{Atpg, AtpgOptions, AtpgResult};
 use modsoc_circuitgen::SocNetlist;
+use modsoc_metrics::{MetricsSink, NullSink, Phase, PhaseTimer};
 use modsoc_netlist::Circuit;
 use modsoc_soc::{CoreSpec, Soc};
 
@@ -276,6 +277,39 @@ where
     F: Fn(usize, &Circuit) -> Result<AtpgResult, AnalysisError> + Sync,
 {
     let engine = Atpg::new(options.atpg.clone());
+    run_soc_experiment_guarded_full(netlist, options, budget, &NullSink, run_core, |flat| {
+        engine
+            .run_budgeted(flat, budget)
+            .map_err(AnalysisError::from)
+    })
+}
+
+/// The fully-injectable guarded pipeline behind
+/// [`run_soc_experiment_guarded_with`]: both the per-core and the
+/// monolithic ATPG functions are caller-supplied, and pipeline-level
+/// observability (modular dispatch / flatten / monolithic / TDV analysis
+/// phase timings, pool utilization) reports into `sink`. This is the
+/// seam the metered experiment runner
+/// ([`crate::metrics::run_soc_experiment_metered`]) uses to give every
+/// core its own recording sink while keeping one pipeline sink for the
+/// dispatch phases. Results are byte-identical to
+/// [`run_soc_experiment_guarded_with`] for the same closures.
+///
+/// # Errors
+///
+/// As [`run_soc_experiment_guarded`].
+pub fn run_soc_experiment_guarded_full<F, G>(
+    netlist: &SocNetlist,
+    options: &ExperimentOptions,
+    budget: &RunBudget,
+    sink: &dyn MetricsSink,
+    run_core: F,
+    run_mono: G,
+) -> Result<Completion<SocExperiment>, AnalysisError>
+where
+    F: Fn(usize, &Circuit) -> Result<AtpgResult, AnalysisError> + Sync,
+    G: FnOnce(&Circuit) -> Result<AtpgResult, AnalysisError>,
+{
     let mut exhausted = None;
     let mut outcomes: Vec<CoreOutcome> = Vec::new();
 
@@ -283,8 +317,9 @@ where
     // across the pool. The jobs only touch per-core state (plus the
     // budget's atomics), so the merge below sees exactly what a
     // sequential loop would have seen.
-    let results: Vec<Result<AtpgResult, CoreFailure>> =
-        map_cores(netlist, options.jobs, |i, circuit| {
+    let dispatch_timer = PhaseTimer::start(sink, Phase::ModularDispatch);
+    let results: Vec<Result<AtpgResult, CoreFailure>> = WorkerPool::new(options.jobs.max(1))
+        .map_with_sink(netlist.cores(), sink, |i, circuit| {
             let result = guard_result(|| run_core(i, circuit));
             if options.fail_fast {
                 let tripped = match &result {
@@ -297,6 +332,7 @@ where
             }
             result
         });
+    drop(dispatch_timer);
 
     // Order-preserving merge, in core-index order.
     let mut soc = Soc::new(netlist.name());
@@ -364,10 +400,12 @@ where
     let max_core = soc.max_core_patterns();
     let (t_mono_raw, mono_coverage) = if options.monolithic {
         let mono = guard_result(|| {
-            let flat = netlist.flatten()?;
-            engine
-                .run_budgeted(&flat, budget)
-                .map_err(AnalysisError::from)
+            let flat = {
+                let _t = PhaseTimer::start(sink, Phase::Flatten);
+                netlist.flatten()?
+            };
+            let _t = PhaseTimer::start(sink, Phase::MonolithicAtpg);
+            run_mono(&flat)
         });
         match mono {
             Ok(result) => {
@@ -406,7 +444,10 @@ where
     let eq2_strict = t_mono_raw > max_core;
     let t_mono = t_mono_raw.max(max_core);
 
-    let analysis = SocTdvAnalysis::compute_with_measured_tmono(&soc, &options.tdv, t_mono)?;
+    let analysis = {
+        let _t = PhaseTimer::start(sink, Phase::TdvAnalysis);
+        SocTdvAnalysis::compute_with_measured_tmono(&soc, &options.tdv, t_mono)?
+    };
     Ok(Completion {
         result: SocExperiment {
             soc,

@@ -32,6 +32,11 @@
 //! * [`chaos`] — a fault-injection harness that corrupts `.bench`/`.soc`
 //!   inputs and injects budget exhaustion, asserting the pipeline always
 //!   terminates with a typed error or partial result.
+//! * [`metrics`] — phase-level observability: per-core counter/timer
+//!   sinks threaded through the engine and pipeline, assembled into a
+//!   serializable [`metrics::RunMetrics`] report whose deterministic
+//!   sections are byte-identical at any `--jobs` value (the CI
+//!   determinism and perf-regression gates consume these reports).
 //!
 //! # Example
 //!
@@ -62,6 +67,7 @@ pub mod analysis;
 pub mod chaos;
 pub mod error;
 pub mod experiment;
+pub mod metrics;
 pub mod parallel;
 pub mod reconstruct;
 pub mod report;

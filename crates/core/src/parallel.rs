@@ -27,6 +27,9 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
+
+use modsoc_metrics::{Counter, MetricsSink, NullSink};
 
 /// Number of usable hardware threads (`1` when detection fails).
 #[must_use]
@@ -105,10 +108,36 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
     {
+        self.map_with_sink(items, &NullSink, f)
+    }
+
+    /// [`WorkerPool::map`] reporting pool utilization into a
+    /// [`MetricsSink`]: the submitted task count lands on the
+    /// deterministic `pool_tasks` counter (and panics that escape jobs on
+    /// `pool_panics`), while each worker contributes a
+    /// scheduling-dependent row (tasks claimed, busy wall time). The
+    /// mapped results are byte-identical to [`WorkerPool::map`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`WorkerPool::map`].
+    pub fn map_with_sink<I, T, F>(&self, items: &[I], sink: &dyn MetricsSink, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        sink.add(Counter::PoolTasks, items.len() as u64);
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
             // Sequential fast path: no threads, no channel.
-            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            let start = sink.enabled().then(Instant::now);
+            let out: Vec<T> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            if let Some(start) = start {
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                sink.worker(0, items.len() as u64, nanos);
+            }
+            return out;
         }
 
         let next = AtomicUsize::new(0);
@@ -116,18 +145,32 @@ impl WorkerPool {
         let mut slots: Vec<Option<std::thread::Result<T>>> =
             (0..items.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
                 scope.spawn(move || {
+                    let mut claimed = 0u64;
+                    let mut busy_nanos = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        // Busy time is job execution only; the gap to the
+                        // pool's wall time is the worker's idle share.
+                        let start = sink.enabled().then(Instant::now);
                         let result = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                        if let Some(start) = start {
+                            claimed += 1;
+                            busy_nanos = busy_nanos.saturating_add(
+                                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
                         if tx.send((i, result)).is_err() {
                             break; // receiver gone: scope is unwinding
                         }
+                    }
+                    if sink.enabled() {
+                        sink.worker(w, claimed, busy_nanos);
                     }
                 });
             }
@@ -139,15 +182,20 @@ impl WorkerPool {
 
         let mut out = Vec::with_capacity(items.len());
         let mut panic_payload = None;
+        let mut panics = 0u64;
         for slot in slots {
             match slot.expect("every job index reports exactly once") {
                 Ok(v) => out.push(v),
                 Err(payload) => {
+                    panics += 1;
                     if panic_payload.is_none() {
                         panic_payload = Some(payload);
                     }
                 }
             }
+        }
+        if panics > 0 {
+            sink.add(Counter::PoolPanics, panics);
         }
         if let Some(payload) = panic_payload {
             resume_unwind(payload);

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use modsoc_soc::Soc;
 
 use crate::analysis::SocTdvAnalysis;
+use crate::metrics::{Counter, RunMetrics};
 use crate::runctl::{CoreOutcome, CoreOutcomeKind};
 
 /// Format an integer with thousands separators (`28538030` →
@@ -229,6 +230,49 @@ pub fn render_outcome_table(outcomes: &[CoreOutcome]) -> String {
             detail
         );
     }
+    out
+}
+
+/// Render a per-core metrics breakdown from a [`RunMetrics`] report:
+/// one row per core (monolithic pseudo-core included) with the headline
+/// engine counters and that core's accumulated phase wall time, then a
+/// totals row. Wall-time columns are scheduling-dependent; everything
+/// else is deterministic.
+#[must_use]
+pub fn render_metrics_table(metrics: &RunMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>9} {:>9} {:>11} {:>13} {:>10}",
+        "core", "outcome", "T", "podem", "backtracks", "sim_evals", "wall_ms"
+    );
+    let row_wall_ms =
+        |snap: &crate::metrics::MetricsSnapshot| snap.phase_nanos.iter().sum::<u64>() as f64 / 1e6;
+    for core in &metrics.cores {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>9} {:>9} {:>11} {:>13} {:>10.1}",
+            core.core,
+            core.outcome,
+            core.patterns
+                .map_or_else(|| "-".to_string(), |t| t.to_string()),
+            core.snapshot.counter(Counter::PodemCalls),
+            core.snapshot.counter(Counter::PodemBacktracks),
+            fmt_u64(core.snapshot.counter(Counter::FaultSimFaultEvals)),
+            row_wall_ms(&core.snapshot)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>9} {:>9} {:>11} {:>13} {:>10.1}",
+        "(totals)",
+        "-",
+        metrics.totals.counter(Counter::PatternsFinal),
+        metrics.totals.counter(Counter::PodemCalls),
+        metrics.totals.counter(Counter::PodemBacktracks),
+        fmt_u64(metrics.totals.counter(Counter::FaultSimFaultEvals)),
+        metrics.wall_ms
+    );
     out
 }
 

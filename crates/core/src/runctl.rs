@@ -202,14 +202,31 @@ pub fn analyze_soc_guarded_jobs(
     options: &TdvOptions,
     jobs: usize,
 ) -> Completion<Vec<CoreTdvRow>> {
+    analyze_soc_guarded_jobs_metered(soc, options, jobs, &modsoc_metrics::NullSink)
+}
+
+/// [`analyze_soc_guarded_jobs`] reporting the TDV-analysis phase timing
+/// and pool utilization into a
+/// [`MetricsSink`](modsoc_metrics::MetricsSink). Rows and outcomes are
+/// byte-identical to the unmetered call.
+#[must_use]
+pub fn analyze_soc_guarded_jobs_metered(
+    soc: &Soc,
+    options: &TdvOptions,
+    jobs: usize,
+    sink: &dyn modsoc_metrics::MetricsSink,
+) -> Completion<Vec<CoreTdvRow>> {
+    let _analysis_timer =
+        modsoc_metrics::PhaseTimer::start(sink, modsoc_metrics::Phase::TdvAnalysis);
     let ids: Vec<_> = soc.iter().collect();
-    let computed = crate::parallel::WorkerPool::new(jobs.max(1)).map(&ids, |_, (id, _)| {
-        guard(|| {
-            let volume = core_tdv_checked(soc, *id, options)?;
-            let (iso_s, iso_r) = isocost_split_checked(soc, *id, options)?;
-            Some((volume, iso_s.checked_add(iso_r)?))
-        })
-    });
+    let computed =
+        crate::parallel::WorkerPool::new(jobs.max(1)).map_with_sink(&ids, sink, |_, (id, _)| {
+            guard(|| {
+                let volume = core_tdv_checked(soc, *id, options)?;
+                let (iso_s, iso_r) = isocost_split_checked(soc, *id, options)?;
+                Some((volume, iso_s.checked_add(iso_r)?))
+            })
+        });
 
     let mut rows = Vec::new();
     let mut outcomes = Vec::new();

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
-//!                           [--jobs N]
+//!                           [--jobs N] [--metrics FILE]
 //! modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
 //!                                    [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+//!                                    [--metrics FILE]
 //! modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //!                          [--patterns-out FILE] [--verilog-out FILE]
 //! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -15,6 +16,9 @@
 //!
 //! `--jobs N` fans independent per-core work across `N` pool workers
 //! (`0` = all hardware threads); reports are identical at any value.
+//! `--metrics FILE` writes a structured JSON run report (phase timings,
+//! engine counters, per-core breakdown); every field except wall times,
+//! `jobs` and the `sched` objects is identical at any `--jobs` value.
 //!
 //! Exit codes: `0` complete, `2` partial result on a tripped run budget
 //! or a degraded (`--keep-going`) analysis, `1` error.
@@ -26,8 +30,13 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use modsoc::analysis::experiment::{run_soc_experiment_guarded, ExperimentOptions};
-use modsoc::analysis::report::{fmt_u64, render_core_table, render_outcome_table, render_survey};
-use modsoc::analysis::runctl::analyze_soc_guarded_jobs;
+use modsoc::analysis::metrics::{
+    analysis_run_metrics, run_soc_experiment_metered, Phase, PhaseTimer, RecordingSink, RunMetrics,
+};
+use modsoc::analysis::report::{
+    fmt_u64, render_core_table, render_metrics_table, render_outcome_table, render_survey,
+};
+use modsoc::analysis::runctl::analyze_soc_guarded_jobs_metered;
 use modsoc::analysis::tdv::core_tdv_checked;
 use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
@@ -63,19 +72,22 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   modsoc analyze <file.soc> [--measured-tmono N] [--exclude-chip-pins] [--reuse F] [--keep-going]
-                            [--jobs N]
+                            [--jobs N] [--metrics FILE]
   modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
                                      [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+                                     [--metrics FILE]
   modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
                            [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
   modsoc cones <file.bench>
-  modsoc index <file.bench>
+  modsoc index <file.bench|file.soc>
   modsoc tdf <file.bench> [--timeout-ms N] [--max-backtracks N]
   modsoc demo <soc1|soc2|p34392|table4>
 
 --jobs N runs independent per-core work on N pool workers (0 = auto);
 reports are identical at any value.
+--metrics FILE writes a structured JSON run report; everything except
+wall times, jobs and sched objects is identical at any --jobs value.
 exit codes: 0 complete, 2 partial (budget tripped / degraded cores), 1 error";
 
 fn run(args: &[String]) -> Result<RunStatus, String> {
@@ -181,15 +193,27 @@ fn jobs_from_flags(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// Write a `--metrics` report to `path`.
+fn write_metrics(path: &str, metrics: &RunMetrics) -> Result<(), String> {
+    std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote metrics to {path}");
+    Ok(())
+}
+
 fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
     check_flags(
         args,
         &["--exclude-chip-pins", "--keep-going"],
-        &["--measured-tmono", "--reuse", "--jobs"],
+        &["--measured-tmono", "--reuse", "--jobs", "--metrics"],
     )?;
+    let started = std::time::Instant::now();
+    let sink = RecordingSink::new();
     let path = positional(args).ok_or("analyze needs a .soc file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let soc = parse_soc(&text).map_err(|e| e.to_string())?;
+    let soc = {
+        let _t = PhaseTimer::start(&sink, Phase::Parse);
+        parse_soc(&text).map_err(|e| e.to_string())?
+    };
     let mut options = if has_flag(args, "--exclude-chip-pins") {
         TdvOptions::tables_1_2()
     } else {
@@ -208,7 +232,7 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
         // healthy cores still get their rows and the outcome table shows
         // who failed and why. Per-core arithmetic fans across the pool;
         // the output is identical at any --jobs value.
-        let completion = analyze_soc_guarded_jobs(&soc, &options, jobs);
+        let completion = analyze_soc_guarded_jobs_metered(&soc, &options, jobs, &sink);
         println!("{soc}");
         for row in &completion.result {
             println!(
@@ -220,21 +244,35 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
         }
         println!();
         println!("{}", render_outcome_table(&completion.per_core_outcomes));
-        if completion.is_complete() {
+        let status = if completion.is_complete() {
             // Every core is healthy, so the full analysis is valid too.
             let analysis = SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?;
             println!(
                 "modular change vs optimistic monolithic: {:+.1}%",
                 analysis.modular_change_pct()
             );
-            return Ok(RunStatus::Complete);
+            RunStatus::Complete
+        } else {
+            eprintln!(
+                "warning: {} of {} cores failed; SOC-level totals suppressed",
+                completion.failed_cores().len(),
+                completion.per_core_outcomes.len()
+            );
+            RunStatus::Partial
+        };
+        if let Some(out) = flag_value(args, "--metrics") {
+            let metrics = analysis_run_metrics(
+                "analyze",
+                path,
+                jobs,
+                started.elapsed().as_secs_f64() * 1e3,
+                &RunBudget::unlimited(),
+                &sink,
+                &completion.per_core_outcomes,
+            );
+            write_metrics(out, &metrics)?;
         }
-        eprintln!(
-            "warning: {} of {} cores failed; SOC-level totals suppressed",
-            completion.failed_cores().len(),
-            completion.per_core_outcomes.len()
-        );
-        return Ok(RunStatus::Partial);
+        return Ok(status);
     }
     // Strict mode: a core whose parameters overflow the TDV equations is
     // a hard error (the saturating equations would silently flatten it).
@@ -247,13 +285,16 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
             ));
         }
     }
-    let analysis = match flag_value(args, "--measured-tmono") {
-        Some(t) => {
-            let t: u64 = parse_num(t, "--measured-tmono")?;
-            SocTdvAnalysis::compute_with_measured_tmono(&soc, &options, t)
-                .map_err(|e| e.to_string())?
+    let analysis = {
+        let _t = PhaseTimer::start(&sink, Phase::TdvAnalysis);
+        match flag_value(args, "--measured-tmono") {
+            Some(t) => {
+                let t: u64 = parse_num(t, "--measured-tmono")?;
+                SocTdvAnalysis::compute_with_measured_tmono(&soc, &options, t)
+                    .map_err(|e| e.to_string())?
+            }
+            None => SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?,
         }
-        None => SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?,
     };
     println!("{soc}");
     println!("{}", render_core_table(&soc, &analysis));
@@ -261,6 +302,18 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
         "modular change vs optimistic monolithic: {:+.1}%",
         analysis.modular_change_pct()
     );
+    if let Some(out) = flag_value(args, "--metrics") {
+        let metrics = analysis_run_metrics(
+            "analyze",
+            path,
+            jobs,
+            started.elapsed().as_secs_f64() * 1e3,
+            &RunBudget::unlimited(),
+            &sink,
+            &[],
+        );
+        write_metrics(out, &metrics)?;
+    }
     Ok(RunStatus::Complete)
 }
 
@@ -277,6 +330,7 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
             "--timeout-ms",
             "--max-patterns",
             "--max-backtracks",
+            "--metrics",
         ],
     )?;
     let seed: u64 = match flag_value(args, "--seed") {
@@ -302,8 +356,20 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
         options = options.modular_only();
     }
     let budget = budget_from_flags(args)?;
-    let completion =
-        run_soc_experiment_guarded(&netlist, &options, &budget).map_err(|e| e.to_string())?;
+    let (completion, metrics) = match flag_value(args, "--metrics") {
+        Some(_) => {
+            // Metered run: each core's engine (and the monolithic run)
+            // reports into its own recording sink; results are
+            // byte-identical to the unmetered path.
+            let metered = run_soc_experiment_metered(&netlist, &options, &budget)
+                .map_err(|e| e.to_string())?;
+            (metered.completion, Some(metered.metrics))
+        }
+        None => (
+            run_soc_experiment_guarded(&netlist, &options, &budget).map_err(|e| e.to_string())?,
+            None,
+        ),
+    };
 
     let exp = &completion.result;
     println!("{}", render_core_table(&exp.soc, &exp.analysis));
@@ -323,6 +389,10 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
     }
     println!();
     println!("{}", render_outcome_table(&completion.per_core_outcomes));
+    if let (Some(out), Some(metrics)) = (flag_value(args, "--metrics"), &metrics) {
+        println!("{}", render_metrics_table(metrics));
+        write_metrics(out, metrics)?;
+    }
     if completion.is_complete() {
         return Ok(RunStatus::Complete);
     }
@@ -471,8 +541,25 @@ fn cmd_cones(args: &[String]) -> Result<RunStatus, String> {
 
 fn cmd_index(args: &[String]) -> Result<RunStatus, String> {
     check_flags(args, &[], &[])?;
-    let path = positional(args).ok_or("index needs a .bench file path")?;
+    let path = positional(args).ok_or("index needs a .bench or .soc file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".soc") {
+        // SOC parameter files have no gate-level netlist to index;
+        // summarize the core hierarchy instead.
+        let soc = parse_soc(&text).map_err(|e| e.to_string())?;
+        let leaves = soc.iter().filter(|(_, c)| c.children.is_empty()).count();
+        let scan: u64 = soc.iter().map(|(_, c)| c.scan_cells).sum();
+        let patterns: u64 = soc.iter().map(|(_, c)| c.patterns).sum();
+        println!(
+            "{} cores ({} leaves) | {} scan cells | {} total patterns | max core T {}",
+            soc.core_count(),
+            leaves,
+            fmt_u64(scan),
+            fmt_u64(patterns),
+            fmt_u64(soc.max_core_patterns())
+        );
+        return Ok(RunStatus::Complete);
+    }
     let circuit = parse_bench("c", &text).map_err(|e| e.to_string())?;
     let model = if circuit.is_combinational() {
         circuit

@@ -351,6 +351,154 @@ fn experiment_rejects_unknown_target_and_bad_jobs() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
 }
 
+/// Strip the volatile lines of a metrics report — wall times (`*_ms`),
+/// the single-line `sched` objects, and the `jobs` field — exactly like
+/// the shell-level determinism gate in ci.sh does with grep.
+fn volatile_filtered(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| {
+            !(l.contains("_ms\":") || l.contains("\"sched\": ") || l.contains("\"jobs\": "))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn experiment_metrics_report_is_valid_json_and_jobs_invariant() {
+    use modsoc::analysis::metrics::{Counter, RunMetrics};
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let run = |jobs: &str, file: &str| {
+        let path = dir.join(file);
+        let out = modsoc(&[
+            "experiment",
+            "mini",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().expect("utf8 path"),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("wrote metrics"));
+        std::fs::read_to_string(&path).expect("metrics file written")
+    };
+    let m1 = run("1", "m1.json");
+    let m4 = run("4", "m4.json");
+
+    // The report parses with the workspace's own JSON parser and carries
+    // real engine observations.
+    let parsed = RunMetrics::from_json(&m1).expect("valid metrics JSON");
+    assert_eq!(parsed.command, "experiment");
+    assert_eq!(parsed.target, "MiniSOC");
+    assert!(parsed.totals.counter(Counter::PatternsFinal) > 0);
+    assert!(parsed.totals.counter(Counter::PodemCalls) > 0);
+    assert_eq!(parsed.cores.last().expect("cores").core, "<monolithic>");
+    assert!(!m1.contains("NaN") && !m1.contains("inf"), "{m1}");
+
+    // Deterministic sections are byte-identical at --jobs 1 vs 4, both
+    // through the shell-style line filter and the typed comparison.
+    assert_eq!(volatile_filtered(&m1), volatile_filtered(&m4));
+    let parsed4 = RunMetrics::from_json(&m4).expect("valid metrics JSON");
+    assert!(parsed.deterministic_eq(&parsed4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_keep_going_partial_failure_still_writes_metrics() {
+    use modsoc::analysis::metrics::RunMetrics;
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_metkg_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let soc_path = dir.join("poisoned.soc");
+    std::fs::write(
+        &soc_path,
+        "soc mixed\n\
+         core good_a i=4 o=3 s=20 t=100\n\
+         core poisoned i=1 o=1 s=18446744073709551615 t=18446744073709551615\n",
+    )
+    .expect("write soc");
+    let metrics_path = dir.join("m.json");
+    let out = modsoc(&[
+        "analyze",
+        soc_path.to_str().expect("utf8 path"),
+        "--keep-going",
+        "--metrics",
+        metrics_path.to_str().expect("utf8 path"),
+    ]);
+    // Degraded run: exit 2, but the metrics report is still written and
+    // records the per-core outcomes, failure included.
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics written on partial run");
+    let parsed = RunMetrics::from_json(&text).expect("valid metrics JSON");
+    assert_eq!(parsed.command, "analyze");
+    let outcomes: Vec<(&str, &str)> = parsed
+        .cores
+        .iter()
+        .map(|c| (c.core.as_str(), c.outcome.as_str()))
+        .collect();
+    assert!(outcomes.contains(&("good_a", "ok")), "{outcomes:?}");
+    assert!(outcomes.contains(&("poisoned", "FAILED")), "{outcomes:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_budget_trip_on_monolithic_only_exits_2() {
+    // mini's cores stay under a 70-pattern cap end to end, but the
+    // flattened monolithic run does not: the budget trips only in the
+    // "<monolithic>" pseudo-core, and that alone must make the run
+    // partial (exit 2) while every real core still reports ok.
+    let out = modsoc(&["experiment", "mini", "--max-patterns", "70"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Only the outcome table (after its "core ... outcome" header) has
+    // per-core ok/partial labels; the TDV table above it also starts
+    // rows with core names.
+    let outcome_table: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !(l.starts_with("core") && l.contains("outcome")))
+        .collect();
+    assert!(!outcome_table.is_empty(), "{text}");
+    for line in &outcome_table {
+        if line.starts_with("coreA") || line.starts_with("coreB") {
+            assert!(line.contains("ok"), "core rows must be complete: {line}");
+        }
+        if line.starts_with("<monolithic>") {
+            assert!(line.contains("partial"), "monolithic must trip: {line}");
+        }
+    }
+    assert!(text.contains("<monolithic>"), "{text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("partial result"));
+}
+
+#[test]
+fn index_summarizes_soc_files() {
+    let out = modsoc(&["index", "testdata/soc2.soc"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cores"), "{text}");
+    assert!(text.contains("scan cells"), "{text}");
+}
+
 #[test]
 fn analyze_keep_going_output_is_jobs_invariant() {
     let dir = std::env::temp_dir().join(format!("modsoc_cli_jobs_{}", std::process::id()));

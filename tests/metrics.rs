@@ -1,0 +1,101 @@
+//! Cross-crate tests for the metrics layer: the determinism contract
+//! (deterministic report sections are identical at any `--jobs` value)
+//! and the JSON report round-trip.
+
+use proptest::prelude::*;
+
+use modsoc::analysis::experiment::ExperimentOptions;
+use modsoc::analysis::metrics::{
+    run_soc_experiment_metered, Counter, MetricsSink, Phase, RecordingSink, RunMetrics,
+};
+use modsoc::analysis::RunBudget;
+use modsoc::atpg::{Atpg, AtpgOptions};
+use modsoc::circuitgen::soc::mini_soc;
+use modsoc::circuitgen::{generate, CoreProfile};
+use std::sync::Arc;
+
+/// Run the metered experiment on `mini_soc(seed)` at a given job count
+/// and return the report.
+fn metered_report(seed: u64, jobs: usize) -> RunMetrics {
+    let netlist = mini_soc(seed).expect("mini soc builds");
+    let options = ExperimentOptions::paper_tables_1_2().with_jobs(jobs);
+    run_soc_experiment_metered(&netlist, &options, &RunBudget::unlimited())
+        .expect("experiment runs")
+        .metrics
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline contract: for any netlist seed, every deterministic
+    /// report section (counters, phase call counts, outcomes, pattern
+    /// counts) is identical at jobs 1, 2 and 4.
+    #[test]
+    fn metered_counters_are_jobs_invariant(seed in 1u64..500) {
+        let base = metered_report(seed, 1);
+        for jobs in [2usize, 4] {
+            let other = metered_report(seed, jobs);
+            prop_assert!(
+                base.deterministic_eq(&other),
+                "seed {} jobs {}: {:?} vs {:?}",
+                seed, jobs, base.totals.counters, other.totals.counters
+            );
+        }
+        // And the serialized form survives the shell-style volatile-line
+        // filter byte-for-byte.
+        let filter = |text: &str| -> String {
+            text.lines()
+                .filter(|l| !(l.contains("_ms\":")
+                    || l.contains("\"sched\": ")
+                    || l.contains("\"jobs\": ")))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let four = metered_report(seed, 4);
+        prop_assert_eq!(filter(&base.to_json()), filter(&four.to_json()));
+    }
+}
+
+#[test]
+fn report_round_trip_and_field_order_are_stable() {
+    let report = metered_report(7, 2);
+    let text = report.to_json();
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    let back = RunMetrics::from_json(&text).expect("parses");
+    assert!(report.deterministic_eq(&back));
+    // Serialization is a fixed point: parse → re-serialize is identical,
+    // which is what makes reports diffable across runs and releases.
+    assert_eq!(back.to_json(), text);
+}
+
+#[test]
+fn recording_sink_observes_engine_without_changing_results() {
+    let core = generate(&CoreProfile::new("obs", 10, 5, 8).with_seed(3)).expect("generates");
+    let plain = Atpg::new(AtpgOptions::default()).run(&core).expect("runs");
+    let sink = Arc::new(RecordingSink::new());
+    let metered = Atpg::with_sink(
+        AtpgOptions::default(),
+        Arc::clone(&sink) as Arc<dyn MetricsSink>,
+    )
+    .run(&core)
+    .expect("runs");
+    // Observation must not perturb the engine.
+    assert_eq!(plain.pattern_count(), metered.pattern_count());
+    assert_eq!(plain.stats.detected, metered.stats.detected);
+    let snap = sink.snapshot();
+    assert_eq!(
+        snap.counter(Counter::PatternsFinal),
+        metered.pattern_count() as u64
+    );
+    assert_eq!(
+        snap.counter(Counter::FaultsCollapsed),
+        metered.stats.collapsed_faults as u64
+    );
+    assert_eq!(snap.phase_calls(Phase::IndexBuild), 1);
+    assert_eq!(snap.phase_calls(Phase::PodemPhase), 1);
+    // The detection counter matches the stats' detected classes.
+    assert_eq!(
+        snap.counter(Counter::FaultSimDetections),
+        metered.stats.detected as u64
+    );
+}

@@ -39,10 +39,14 @@ cargo bench -q -p modsoc-bench --bench metrics_overhead -- --test
 
 echo "== CLI smoke runs"
 cargo build -q --release --bin modsoc
+./target/release/modsoc --version
 ./target/release/modsoc index testdata/soc2.soc
 ./target/release/modsoc experiment soc2 --jobs 4 > "$workdir/soc2_smoke.txt"
 grep -q "monolithic ATPG" "$workdir/soc2_smoke.txt" \
   || { echo "FAIL: experiment soc2 produced no monolithic summary"; exit 1; }
+./target/release/modsoc analyze testdata/soc1.soc --exclude-chip-pins --measured-tmono 216 > "$workdir/soc1_smoke.txt"
+grep -q "45,183" "$workdir/soc1_smoke.txt" \
+  || { echo "FAIL: soc1.soc analyze lost the Table 1 modular TDV (45,183)"; exit 1; }
 
 echo "== parallel determinism gate (--jobs 1 vs --jobs 4)"
 # The worker pool's contract: reports are byte-identical at any --jobs
@@ -63,9 +67,38 @@ echo "== metrics determinism gate (counters identical at --jobs 1 vs --jobs 4)"
 # strips exactly the volatile subset.
 ./target/release/modsoc experiment mini --jobs 1 --metrics "$workdir/m1.json" > /dev/null
 ./target/release/modsoc experiment mini --jobs 4 --metrics "$workdir/m4.json" > /dev/null
-diff <(grep -vE '"(sched|jobs)": |_ms":' "$workdir/m1.json") \
-     <(grep -vE '"(sched|jobs)": |_ms":' "$workdir/m4.json") \
+diff <(grep -vE '"(sched|jobs)": |_ms":|"store_' "$workdir/m1.json") \
+     <(grep -vE '"(sched|jobs)": |_ms":|"store_' "$workdir/m4.json") \
   || { echo "FAIL: metrics counters diverge between --jobs 1 and --jobs 4"; exit 1; }
+
+echo "== store cache determinism gate (cold vs warm, --jobs 1 and 4)"
+# The result store's contract: a warm run is byte-identical to the cold
+# one on stdout at any --jobs value, and every engine run (4 cores +
+# monolithic on soc2) is served from the cache.
+store="$workdir/store"
+./target/release/modsoc experiment soc2 --jobs 4 --store "$store" > "$workdir/cold.txt" 2> "$workdir/cold_err.txt"
+grep -q "monolithic ATPG" "$workdir/cold.txt" \
+  || { echo "FAIL: cold store run produced no monolithic summary"; exit 1; }
+grep -q "store: 0 hits, 5 misses, 5 writes" "$workdir/cold_err.txt" \
+  || { echo "FAIL: cold run did not write 5 entries"; cat "$workdir/cold_err.txt"; exit 1; }
+for jobs in 1 4; do
+  ./target/release/modsoc experiment soc2 --jobs "$jobs" --store "$store" \
+    > "$workdir/warm$jobs.txt" 2> "$workdir/warm${jobs}_err.txt"
+  grep -q "store: 5 hits, 0 misses" "$workdir/warm${jobs}_err.txt" \
+    || { echo "FAIL: warm --jobs $jobs run missed the cache"; cat "$workdir/warm${jobs}_err.txt"; exit 1; }
+  diff "$workdir/cold.txt" "$workdir/warm$jobs.txt" \
+    || { echo "FAIL: warm --jobs $jobs report differs from the cold run"; exit 1; }
+done
+
+echo "== campaign resume gate"
+# A re-invoked campaign must skip every journaled unit.
+printf '%s' '{"schema":1,"name":"ci","units":[{"name":"m7","soc":"mini","seed":7},{"name":"m9","soc":"mini","seed":9}]}' > "$workdir/campaign.json"
+./target/release/modsoc campaign "$workdir/campaign.json" --store "$store" > "$workdir/camp1.txt" 2>/dev/null
+grep -q " ok " "$workdir/camp1.txt" \
+  || { echo "FAIL: first campaign run completed no units"; cat "$workdir/camp1.txt"; exit 1; }
+./target/release/modsoc campaign "$workdir/campaign.json" --store "$store" > "$workdir/camp2.txt" 2>/dev/null
+[ "$(grep -c "skipped" "$workdir/camp2.txt")" -eq 2 ] \
+  || { echo "FAIL: re-invoked campaign did not skip its journaled units"; cat "$workdir/camp2.txt"; exit 1; }
 
 if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
   echo "== perf regression gate (atpg_phase_bench --check, +25% tolerance)"

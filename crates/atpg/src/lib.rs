@@ -59,6 +59,7 @@
 
 pub mod bist;
 pub mod budget;
+pub mod cache;
 pub mod collapse;
 pub mod compact;
 pub mod compress;
@@ -74,6 +75,7 @@ pub mod testability;
 pub mod value;
 
 pub use budget::{BudgetExhausted, ExhaustReason, RunBudget};
+pub use cache::{cache_key, options_fingerprint};
 pub use engine::{Atpg, AtpgOptions, AtpgResult, AtpgStats};
 pub use error::AtpgError;
 pub use fault::{Fault, FaultSite, FaultStatus};

@@ -21,6 +21,11 @@ pub enum AnalysisError {
         /// The maximum per-core pattern count it must not undercut.
         max_core: u64,
     },
+    /// A campaign spec could not be parsed or validated.
+    Campaign {
+        /// What was wrong with the spec.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -33,6 +38,7 @@ impl fmt::Display for AnalysisError {
                 f,
                 "monolithic pattern count {t_mono} is below the equation 2 bound {max_core}"
             ),
+            AnalysisError::Campaign { message } => write!(f, "campaign spec error: {message}"),
         }
     }
 }
@@ -44,6 +50,7 @@ impl std::error::Error for AnalysisError {
             AnalysisError::Netlist(e) => Some(e),
             AnalysisError::Atpg(e) => Some(e),
             AnalysisError::TmonoBelowBound { .. } => None,
+            AnalysisError::Campaign { .. } => None,
         }
     }
 }

@@ -13,11 +13,14 @@
 //! [`CoreMeasurement`]s in core-index order — reports are byte-identical
 //! to the sequential run at any job count.
 
+use std::sync::Arc;
+
 use modsoc_atpg::{Atpg, AtpgOptions, AtpgResult};
 use modsoc_circuitgen::SocNetlist;
 use modsoc_metrics::{MetricsSink, NullSink, Phase, PhaseTimer};
 use modsoc_netlist::Circuit;
 use modsoc_soc::{CoreSpec, Soc};
+use modsoc_store::ResultStore;
 
 use crate::analysis::SocTdvAnalysis;
 use crate::error::AnalysisError;
@@ -57,6 +60,15 @@ pub struct ExperimentOptions {
     /// emitted — the modular-only mode used by the `--jobs` scaling
     /// bench, where the serial monolithic run would drown the signal.
     pub monolithic: bool,
+    /// Content-addressed result store (`--store <dir>`): every engine
+    /// run — per-core and monolithic — is fetched from the store when a
+    /// complete result for the same `(circuit, options)` content address
+    /// exists, and written back after a cold computation. `None` (the
+    /// default) computes everything in-process.
+    pub store: Option<Arc<ResultStore>>,
+    /// Whether store lookups are performed (`false` = `--no-store-read`):
+    /// results are recomputed and rewritten, refreshing suspect entries.
+    pub store_read: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -68,6 +80,8 @@ impl Default for ExperimentOptions {
             jobs: 1,
             fail_fast: false,
             monolithic: true,
+            store: None,
+            store_read: true,
         }
     }
 }
@@ -103,6 +117,43 @@ impl ExperimentOptions {
     pub fn modular_only(mut self) -> ExperimentOptions {
         self.monolithic = false;
         self
+    }
+
+    /// Attach a content-addressed result store (see
+    /// [`ExperimentOptions::store`]).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> ExperimentOptions {
+        self.store = Some(store);
+        self
+    }
+
+    /// Enable or disable store lookups (see
+    /// [`ExperimentOptions::store_read`]).
+    #[must_use]
+    pub fn with_store_read(mut self, read: bool) -> ExperimentOptions {
+        self.store_read = read;
+        self
+    }
+
+    /// Run one engine job through the configured store (cache fetch +
+    /// write-back), or directly when no store is attached. The single
+    /// seam every experiment entry point funnels engine runs through, so
+    /// `--store` behaves identically for per-core, monolithic, plain,
+    /// guarded, and metered paths.
+    pub(crate) fn run_engine(
+        &self,
+        engine: &Atpg,
+        circuit: &Circuit,
+        budget: &RunBudget,
+    ) -> Result<AtpgResult, AnalysisError> {
+        match &self.store {
+            Some(store) => engine
+                .run_budgeted_stored(circuit, budget, store, self.store_read)
+                .map_err(AnalysisError::from),
+            None => engine
+                .run_budgeted(circuit, budget)
+                .map_err(AnalysisError::from),
+        }
     }
 }
 
@@ -160,9 +211,12 @@ pub fn run_soc_experiment(
     options: &ExperimentOptions,
 ) -> Result<SocExperiment, AnalysisError> {
     let engine = Atpg::new(options.atpg.clone());
+    let budget = RunBudget::unlimited();
 
     // Modular phase: every core stand-alone, dispatched across the pool.
-    let results = map_cores(netlist, options.jobs, |_, circuit| engine.run(circuit));
+    let results = map_cores(netlist, options.jobs, |_, circuit| {
+        options.run_engine(&engine, circuit, &budget)
+    });
 
     let mut soc = Soc::new(netlist.name());
     let mut cores = Vec::with_capacity(netlist.cores().len());
@@ -200,7 +254,7 @@ pub fn run_soc_experiment(
     let max_core = soc.max_core_patterns();
     let (t_mono_raw, mono_coverage) = if options.monolithic {
         let flat = netlist.flatten()?;
-        let mono = engine.run(&flat)?;
+        let mono = options.run_engine(&engine, &flat, &budget)?;
         (mono.pattern_count() as u64, mono.fault_coverage())
     } else {
         (max_core, 0.0)
@@ -251,9 +305,7 @@ pub fn run_soc_experiment_guarded(
 ) -> Result<Completion<SocExperiment>, AnalysisError> {
     let engine = Atpg::new(options.atpg.clone());
     run_soc_experiment_guarded_with(netlist, options, budget, |_, circuit| {
-        engine
-            .run_budgeted(circuit, budget)
-            .map_err(AnalysisError::from)
+        options.run_engine(&engine, circuit, budget)
     })
 }
 
@@ -278,9 +330,7 @@ where
 {
     let engine = Atpg::new(options.atpg.clone());
     run_soc_experiment_guarded_full(netlist, options, budget, &NullSink, run_core, |flat| {
-        engine
-            .run_budgeted(flat, budget)
-            .map_err(AnalysisError::from)
+        options.run_engine(&engine, flat, budget)
     })
 }
 
@@ -689,6 +739,49 @@ mod tests {
             ));
             assert_eq!(completion.result.cores.len(), 1);
         }
+    }
+
+    #[test]
+    fn stored_experiment_matches_cold_run_and_skips_recompute() {
+        let dir = std::env::temp_dir().join(format!(
+            "modsoc_experiment_store_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ResultStore::open(&dir).unwrap());
+        let netlist = mini_soc(7).unwrap();
+        let baseline =
+            run_soc_experiment(&netlist, &ExperimentOptions::paper_tables_1_2()).unwrap();
+
+        let options = ExperimentOptions::paper_tables_1_2().with_store(Arc::clone(&store));
+        let cold = run_soc_experiment(&netlist, &options).unwrap();
+        // Cold: 2 cores + monolithic, all misses, all written.
+        assert_eq!((store.hits(), store.misses(), store.writes()), (0, 3, 3));
+        assert_eq!(cold.t_mono, baseline.t_mono);
+
+        for jobs in [1, 4] {
+            let warm = run_soc_experiment(&netlist, &options.clone().with_jobs(jobs)).unwrap();
+            assert_eq!(warm.t_mono, baseline.t_mono, "jobs={jobs}");
+            assert_eq!(
+                warm.cores.iter().map(|c| c.patterns).collect::<Vec<_>>(),
+                baseline
+                    .cores
+                    .iter()
+                    .map(|c| c.patterns)
+                    .collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+            assert_eq!(warm.eq2_strict, baseline.eq2_strict);
+        }
+        // Two warm runs × 3 units each, no further misses or writes.
+        assert_eq!((store.hits(), store.misses(), store.writes()), (6, 3, 3));
+
+        // --no-store-read recomputes (no new hits) but refreshes entries.
+        let refreshed = run_soc_experiment(&netlist, &options.clone().with_store_read(false));
+        assert!(refreshed.is_ok());
+        assert_eq!(store.hits(), 6);
+        assert_eq!(store.writes(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

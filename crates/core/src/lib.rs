@@ -37,6 +37,11 @@
 //!   serializable [`metrics::RunMetrics`] report whose deterministic
 //!   sections are byte-identical at any `--jobs` value (the CI
 //!   determinism and perf-regression gates consume these reports).
+//! * [`campaign`] — resumable experiment campaigns: a JSON spec of SOC
+//!   experiment units run through the pipeline, journaling per-unit
+//!   completion to a content-addressed result store
+//!   (`modsoc-store`) so an interrupted campaign resumes where it
+//!   stopped instead of recomputing finished units.
 //!
 //! # Example
 //!
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod chaos;
 pub mod error;
 pub mod experiment;
@@ -76,6 +82,7 @@ pub mod tdv;
 pub mod timecost;
 
 pub use analysis::{CoreTdvRow, SocTdvAnalysis};
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, UnitStatus};
 pub use error::AnalysisError;
 pub use parallel::WorkerPool;
 pub use runctl::{

@@ -19,13 +19,17 @@
 //! * any field whose key ends in `_ms` (wall-clock times),
 //! * the `"sched"` objects (per-worker utilization rows), always
 //!   serialized on a single line,
-//! * the top-level `"jobs"` field itself.
+//! * the top-level `"jobs"` field itself,
+//! * the `store_*` counters (`store_hits`/`store_misses`/…): they are
+//!   *cache-state*-dependent — a cold `--store` run records misses and
+//!   writes where a warm run records hits — while still `--jobs`-
+//!   invariant at a fixed cache state.
 //!
 //! The serializer guarantees each of those lands on its own line, so a
-//! shell-level `grep -vE '"(sched|jobs)": |_ms":'` strips the volatile
-//! subset and the remainder must diff clean between runs — that is the
-//! CI determinism gate, and [`RunMetrics::deterministic_eq`] is the same
-//! contract in-process.
+//! shell-level `grep -vE '"(sched|jobs)": |_ms":|"store_'` strips the
+//! volatile subset and the remainder must diff clean between runs — that
+//! is the CI determinism gate, and [`RunMetrics::deterministic_eq`] is
+//! the same contract in-process.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -461,18 +465,14 @@ pub fn run_soc_experiment_metered(
                 options.atpg.clone(),
                 Arc::clone(&core_sinks[i]) as Arc<dyn MetricsSink>,
             );
-            engine
-                .run_budgeted(circuit, budget)
-                .map_err(AnalysisError::from)
+            options.run_engine(&engine, circuit, budget)
         },
         |flat| -> Result<AtpgResult, AnalysisError> {
             let engine = Atpg::with_sink(
                 options.atpg.clone(),
                 Arc::clone(&mono_sink) as Arc<dyn MetricsSink>,
             );
-            engine
-                .run_budgeted(flat, budget)
-                .map_err(AnalysisError::from)
+            options.run_engine(&engine, flat, budget)
         },
     )?;
 

@@ -76,11 +76,15 @@ pub enum Counter {
     BudgetTrips,
     PoolTasks,
     PoolPanics,
+    StoreHits,
+    StoreMisses,
+    StoreWrites,
+    StoreEvictions,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::FaultsUniverse,
         Counter::FaultsCollapsed,
         Counter::RandomPatternsKept,
@@ -105,6 +109,10 @@ impl Counter {
         Counter::BudgetTrips,
         Counter::PoolTasks,
         Counter::PoolPanics,
+        Counter::StoreHits,
+        Counter::StoreMisses,
+        Counter::StoreWrites,
+        Counter::StoreEvictions,
     ];
 
     /// Position in [`Counter::ALL`] (the sink's array index).
@@ -144,6 +152,15 @@ impl Counter {
             Counter::BudgetTrips => "budget_trips",
             Counter::PoolTasks => "pool_tasks",
             Counter::PoolPanics => "pool_panics",
+            // The store_* counters are *cache-state-dependent*: a warm
+            // run reports hits where the cold run reported misses and
+            // writes. They are excluded from the cross-run determinism
+            // gates (the `"store_` filter) but are still deterministic
+            // at a fixed cache state and --jobs-invariant.
+            Counter::StoreHits => "store_hits",
+            Counter::StoreMisses => "store_misses",
+            Counter::StoreWrites => "store_writes",
+            Counter::StoreEvictions => "store_evictions",
         }
     }
 }
@@ -261,6 +278,48 @@ pub trait MetricsSink: Send + Sync + std::fmt::Debug {
 pub struct NullSink;
 
 impl MetricsSink for NullSink {}
+
+/// A sink that forwards every event to each of its children.
+///
+/// Used where one instrumented run must feed two observers at once —
+/// e.g. the result store captures an engine run's counters for the cache
+/// entry while the caller's own sink keeps seeing the run as usual.
+#[derive(Debug, Clone, Default)]
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn MetricsSink>>,
+}
+
+impl TeeSink {
+    /// A tee over the given children (order is the forwarding order).
+    #[must_use]
+    pub fn new(sinks: Vec<std::sync::Arc<dyn MetricsSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl MetricsSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn add(&self, counter: Counter, delta: u64) {
+        for s in &self.sinks {
+            s.add(counter, delta);
+        }
+    }
+
+    fn time(&self, phase: Phase, nanos: u64) {
+        for s in &self.sinks {
+            s.time(phase, nanos);
+        }
+    }
+
+    fn worker(&self, worker: usize, claimed: u64, busy_nanos: u64) {
+        for s in &self.sinks {
+            s.worker(worker, claimed, busy_nanos);
+        }
+    }
+}
 
 /// One worker/shard utilization row (scheduling-dependent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_format;
+pub mod canonical;
 pub mod circuit;
 pub mod cone;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod verilog;
 pub mod wrapper;
 
+pub use canonical::canonical_bytes;
 pub use circuit::{Circuit, NodeId, PortDirection};
 pub use error::NetlistError;
 pub use gate::GateKind;

@@ -1,0 +1,274 @@
+//! Completion journal for resumable campaigns.
+//!
+//! A [`Journal`] is the campaign runner's durable memory: every unit
+//! that ran to *completion* is recorded as `(unit name, content key,
+//! summary)`. On re-invocation the runner looks each unit up before
+//! running it — a match means "already done with these exact inputs"
+//! and the unit is skipped, its report row rebuilt from the summary.
+//!
+//! The key half of the pair is what makes resumption safe: a unit is
+//! only skipped when its *content address* (circuit + options hash)
+//! matches the journaled one, so editing a campaign spec invalidates
+//! exactly the units it changes.
+//!
+//! The journal file shares the store's corruption contract: it is
+//! rewritten atomically on every record, carries a payload checksum,
+//! and a damaged journal is evicted (logged, counted) and treated as
+//! empty — the campaign recomputes instead of crashing.
+
+use crate::{atomic_write, payload_check, ResultStore, StoreError, STORE_SCHEMA};
+use modsoc_metrics::json::{self, JsonValue};
+use modsoc_metrics::MetricsSink;
+use std::fs;
+use std::path::PathBuf;
+
+/// One journaled completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Campaign-unique unit name.
+    pub unit: String,
+    /// Content address (hex) of the unit's inputs when it completed.
+    pub key: String,
+    /// Caller-defined summary of the result (report row material).
+    pub summary: JsonValue,
+}
+
+/// An on-disk list of completed units, rewritten atomically on every
+/// [`Journal::record`].
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    entries: Vec<JournalEntry>,
+}
+
+/// Map a journal name to a safe file stem (alphanumerics, `-`, `_`).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn entries_to_json(entries: &[JournalEntry]) -> JsonValue {
+    JsonValue::Array(
+        entries
+            .iter()
+            .map(|e| {
+                JsonValue::Object(vec![
+                    ("unit".to_string(), JsonValue::String(e.unit.clone())),
+                    ("key".to_string(), JsonValue::String(e.key.clone())),
+                    ("summary".to_string(), e.summary.clone()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn entries_from_json(doc: &JsonValue) -> Option<Vec<JournalEntry>> {
+    if doc.get("schema").and_then(JsonValue::as_u64) != Some(STORE_SCHEMA) {
+        return None;
+    }
+    let payload = doc.get("entries")?;
+    if doc.get("check").and_then(JsonValue::as_str) != Some(payload_check(payload).as_str()) {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for item in payload.as_array()? {
+        entries.push(JournalEntry {
+            unit: item.get("unit")?.as_str()?.to_string(),
+            key: item.get("key")?.as_str()?.to_string(),
+            summary: item.get("summary")?.clone(),
+        });
+    }
+    Some(entries)
+}
+
+impl Journal {
+    /// Entries recorded so far, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Look up a completion by unit name *and* content key. A name
+    /// match with a different key means the unit's inputs changed since
+    /// it was journaled — not a completion.
+    #[must_use]
+    pub fn find(&self, unit: &str, key: &str) -> Option<&JournalEntry> {
+        self.entries.iter().find(|e| e.unit == unit && e.key == key)
+    }
+
+    /// Record a completion and persist the journal atomically. An
+    /// existing entry with the same unit name is replaced (re-run after
+    /// a spec change).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the journal file cannot be
+    /// rewritten; the in-memory entry is kept either way so the current
+    /// process still sees the completion.
+    pub fn record(&mut self, entry: JournalEntry) -> Result<(), StoreError> {
+        self.entries.retain(|e| e.unit != entry.unit);
+        self.entries.push(entry);
+        let payload = entries_to_json(&self.entries);
+        let doc = JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::Number(crate::STORE_SCHEMA as f64),
+            ),
+            (
+                "check".to_string(),
+                JsonValue::String(payload_check(&payload)),
+            ),
+            ("entries".to_string(), payload),
+        ]);
+        atomic_write(&self.path, &doc.to_compact())
+    }
+}
+
+impl ResultStore {
+    /// Open the journal named `name` (created empty if absent). A
+    /// corrupt journal — unreadable, malformed, schema-mismatched, or
+    /// checksum-failed — is evicted and replaced by an empty one; the
+    /// campaign then re-runs everything rather than trusting a damaged
+    /// completion log.
+    #[must_use]
+    pub fn open_journal(&self, name: &str, sink: &dyn MetricsSink) -> Journal {
+        let path = self.journals_dir().join(format!("{}.json", sanitize(name)));
+        let mut journal = Journal {
+            path: path.clone(),
+            entries: Vec::new(),
+        };
+        // An absent journal is a fresh campaign; a present-but-unreadable
+        // one (e.g. invalid UTF-8 from a torn write) is corruption, not
+        // absence, and must be evicted like any other damage.
+        let text = match fs::File::open(&path) {
+            Err(_) => return journal, // absent: fresh journal
+            Ok(mut f) => {
+                use std::io::Read;
+                let mut text = String::new();
+                f.read_to_string(&mut text).ok().map(|_| text)
+            }
+        };
+        let parsed = text.as_deref().and_then(|t| json::parse(t).ok());
+        match parsed.as_ref().and_then(entries_from_json) {
+            Some(entries) => journal.entries = entries,
+            None => {
+                eprintln!(
+                    "store: evicting journal {} (corrupt or stale)",
+                    path.display()
+                );
+                let _ = fs::remove_file(&path);
+                self.note_eviction(sink);
+            }
+        }
+        journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsoc_metrics::NullSink;
+    use std::path::Path;
+
+    fn temp_store(tag: &str) -> (PathBuf, ResultStore) {
+        let dir =
+            std::env::temp_dir().join(format!("modsoc_journal_test_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn entry(unit: &str, key: &str, patterns: u64) -> JournalEntry {
+        JournalEntry {
+            unit: unit.to_string(),
+            key: key.to_string(),
+            summary: JsonValue::Object(vec![(
+                "patterns".to_string(),
+                JsonValue::Number(patterns as f64),
+            )]),
+        }
+    }
+
+    #[test]
+    fn record_and_reload() {
+        let (dir, store) = temp_store("reload");
+        let mut j = store.open_journal("campaign", &NullSink);
+        j.record(entry("u1", "k1", 10)).unwrap();
+        j.record(entry("u2", "k2", 20)).unwrap();
+        let j2 = store.open_journal("campaign", &NullSink);
+        assert_eq!(j2.entries().len(), 2);
+        assert!(j2.find("u1", "k1").is_some());
+        assert!(j2.find("u1", "wrong-key").is_none(), "key must match too");
+        assert!(j2.find("u3", "k1").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rerecording_a_unit_replaces_it() {
+        let (dir, store) = temp_store("replace");
+        let mut j = store.open_journal("c", &NullSink);
+        j.record(entry("u1", "old", 1)).unwrap();
+        j.record(entry("u1", "new", 2)).unwrap();
+        assert_eq!(j.entries().len(), 1);
+        assert!(j.find("u1", "old").is_none());
+        assert!(j.find("u1", "new").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_is_evicted_and_empty() {
+        let (dir, store) = temp_store("corrupt");
+        let mut j = store.open_journal("c", &NullSink);
+        j.record(entry("u1", "k1", 10)).unwrap();
+        // Truncate the file mid-document.
+        let path = dir.join("journals").join("c.json");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 5]).unwrap();
+        let j2 = store.open_journal("c", &NullSink);
+        assert!(j2.entries().is_empty());
+        assert_eq!(store.evictions(), 1);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_entry_fails_the_checksum() {
+        let (dir, store) = temp_store("tamper");
+        let mut j = store.open_journal("c", &NullSink);
+        j.record(entry("u1", "k1", 10)).unwrap();
+        let path = dir.join("journals").join("c.json");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("\"k1\"", "\"kX\"")).unwrap();
+        let j2 = store.open_journal("c", &NullSink);
+        assert!(j2.entries().is_empty(), "tampered journal must not load");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_names_are_sanitized() {
+        let (dir, store) = temp_store("sanitize");
+        let mut j = store.open_journal("weird name/../x", &NullSink);
+        j.record(entry("u", "k", 1)).unwrap();
+        // Everything must stay inside journals/.
+        let files: Vec<_> = fs::read_dir(dir.join("journals"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files, vec!["weird_name____x.json".to_string()]);
+        assert!(!Path::new(&dir).join("x.json").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,545 @@
+//! Content-addressed on-disk result store for `modsoc`.
+//!
+//! The DATE 2008 experiments re-run the same per-core ATPG jobs over and
+//! over — every `modsoc experiment soc2` invocation regenerates the same
+//! four cores from the same seeds and solves them from scratch. This
+//! crate provides the bottom layer that makes those runs resumable and
+//! cheap to repeat:
+//!
+//! * [`ResultStore`] — a directory of immutable JSON entries keyed by a
+//!   SHA-256 content address ([`StoreKey`], computed by callers from a
+//!   canonical serialization of the work unit). Writes are atomic
+//!   (tmp file + rename); reads validate a payload checksum so a
+//!   truncated or bit-flipped entry is *evicted and recomputed*, never
+//!   trusted and never a crash.
+//! * [`Journal`] — an append-style completion log used by the campaign
+//!   runner: each finished unit is recorded with its key and a summary,
+//!   and a re-invocation skips units whose `(unit, key)` pair is already
+//!   journaled.
+//! * [`sha256`] — the hand-rolled FIPS 180-4 digest both of the above
+//!   are built on (the workspace vendors no crypto crate).
+//!
+//! The store is deliberately *dumb*: no locking, no size bounds, no
+//! remote backends (see ROADMAP open items). Concurrent writers are safe
+//! against torn entries because of the atomic rename — last writer wins,
+//! and both writers produce the same bytes for the same key anyway.
+//!
+//! Cache traffic is observable through [`modsoc_metrics`]: every
+//! [`ResultStore`] operation bumps a process-local counter *and* reports
+//! through a [`MetricsSink`] (`store_hits`, `store_misses`,
+//! `store_writes`, `store_evictions`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod sha256;
+
+pub use journal::{Journal, JournalEntry};
+
+use modsoc_metrics::json::{self, JsonValue};
+use modsoc_metrics::{Counter, MetricsSink};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk schema version. Bumping it invalidates every existing entry:
+/// `open` evicts objects whose manifest does not match, and `get`
+/// rejects entries recorded under a different schema.
+pub const STORE_SCHEMA: u64 = 1;
+
+/// Identifying tag written into the manifest so a store directory is
+/// recognizable (and a random directory is not mistaken for one).
+pub const STORE_FORMAT: &str = "modsoc-store";
+
+/// A 32-byte content address (SHA-256 digest) naming one store entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey(pub [u8; 32]);
+
+impl StoreKey {
+    /// Lowercase hex form — also the entry's file stem on disk.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        sha256::hex(&self.0)
+    }
+}
+
+impl fmt::Debug for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StoreKey({})", self.hex())
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Errors surfaced by store operations that the caller must handle
+/// (directory creation, manifest writes, entry writes). Read-side
+/// corruption is *not* an error — corrupt entries are evicted and the
+/// read reports a miss.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An I/O operation on the store directory failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(path: &Path, source: io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Write `contents` to `path` atomically: write a sibling tmp file in
+/// the same directory, flush, then rename over the destination. Readers
+/// either see the old entry or the complete new one, never a torn write.
+pub(crate) fn atomic_write(path: &Path, contents: &str) -> Result<(), StoreError> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "entry".to_string());
+    let tmp = dir.join(format!(".tmp-{}-{stem}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(contents.as_bytes())
+            .map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_err(path, e)
+    })
+}
+
+/// Checksum guarding a JSON payload: the SHA-256 hex digest of its
+/// compact serialization. Stored alongside the payload so byte flips
+/// anywhere in the entry are detected on read.
+#[must_use]
+pub fn payload_check(payload: &JsonValue) -> String {
+    sha256::hex(&sha256::digest(payload.to_compact().as_bytes()))
+}
+
+/// A content-addressed result store rooted at one directory.
+///
+/// Layout:
+///
+/// ```text
+/// <root>/manifest.json            {"format":"modsoc-store","schema":1}
+/// <root>/objects/<key-hex>.json   {"schema":1,"key":…,"check":…,"payload":…}
+/// <root>/journals/<name>.json     campaign completion journals
+/// ```
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if necessary) the store rooted at `dir`.
+    ///
+    /// A missing directory is created and stamped with a manifest. An
+    /// existing directory with a corrupt or schema-mismatched manifest
+    /// is *reset*: every object and journal is evicted (counted) and a
+    /// fresh manifest is written — stale-format entries must never be
+    /// decoded as current-format ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory tree or manifest
+    /// cannot be created.
+    pub fn open(dir: &Path) -> Result<ResultStore, StoreError> {
+        let store = ResultStore {
+            root: dir.to_path_buf(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        fs::create_dir_all(store.objects_dir()).map_err(|e| io_err(&store.objects_dir(), e))?;
+        fs::create_dir_all(store.journals_dir()).map_err(|e| io_err(&store.journals_dir(), e))?;
+        let manifest = store.root.join("manifest.json");
+        if !store.manifest_is_current(&manifest) {
+            if manifest.exists() {
+                eprintln!(
+                    "store: manifest at {} is corrupt or from another schema; resetting store",
+                    manifest.display()
+                );
+                store.evict_all();
+            }
+            let doc = JsonValue::Object(vec![
+                (
+                    "format".to_string(),
+                    JsonValue::String(STORE_FORMAT.to_string()),
+                ),
+                ("schema".to_string(), JsonValue::Number(STORE_SCHEMA as f64)),
+            ]);
+            atomic_write(&manifest, &doc.to_compact())?;
+        }
+        Ok(store)
+    }
+
+    /// Root directory this store was opened at.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn objects_dir(&self) -> PathBuf {
+        self.root.join("objects")
+    }
+
+    pub(crate) fn journals_dir(&self) -> PathBuf {
+        self.root.join("journals")
+    }
+
+    fn entry_path(&self, key: &StoreKey) -> PathBuf {
+        self.objects_dir().join(format!("{}.json", key.hex()))
+    }
+
+    fn manifest_is_current(&self, manifest: &Path) -> bool {
+        let Ok(text) = fs::read_to_string(manifest) else {
+            return false;
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return false;
+        };
+        doc.get("format").and_then(JsonValue::as_str) == Some(STORE_FORMAT)
+            && doc.get("schema").and_then(JsonValue::as_u64) == Some(STORE_SCHEMA)
+    }
+
+    /// Remove every object and journal, counting each removed file as an
+    /// eviction. Used when the manifest says the entries cannot be
+    /// trusted.
+    fn evict_all(&self) {
+        for dir in [self.objects_dir(), self.journals_dir()] {
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                if fs::remove_file(entry.path()).is_ok() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Remove one entry file because it failed validation; counted as an
+    /// eviction and logged, never an error.
+    fn evict_entry(&self, path: &Path, why: &str, sink: &dyn MetricsSink) {
+        eprintln!("store: evicting {} ({why})", path.display());
+        let _ = fs::remove_file(path);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        sink.add(Counter::StoreEvictions, 1);
+    }
+
+    /// Remove the entry for `key` because the caller could not use it —
+    /// e.g. the envelope checksum held but the payload did not decode
+    /// into the expected result shape. Logged and counted as an
+    /// eviction; a no-op when no entry exists.
+    pub fn evict(&self, key: &StoreKey, why: &str, sink: &dyn MetricsSink) {
+        let path = self.entry_path(key);
+        if path.exists() {
+            self.evict_entry(&path, why, sink);
+        }
+    }
+
+    /// Fetch the payload stored under `key`, or `None` on a miss.
+    ///
+    /// Every failure mode — missing file, unreadable file, malformed
+    /// JSON, schema mismatch, key mismatch, checksum mismatch — is a
+    /// miss; validation failures additionally evict the entry so the
+    /// next write replaces it. This is the corruption-tolerance
+    /// contract: a damaged store degrades to recomputation, it does not
+    /// crash or serve garbage.
+    pub fn get(&self, key: &StoreKey, sink: &dyn MetricsSink) -> Option<JsonValue> {
+        let path = self.entry_path(key);
+        let mut text = String::new();
+        match fs::File::open(&path) {
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                sink.add(Counter::StoreMisses, 1);
+                return None;
+            }
+            Ok(mut f) => {
+                if f.read_to_string(&mut text).is_err() {
+                    self.evict_entry(&path, "unreadable", sink);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    sink.add(Counter::StoreMisses, 1);
+                    return None;
+                }
+            }
+        }
+        let reject = |why: &str| {
+            self.evict_entry(&path, why, sink);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            sink.add(Counter::StoreMisses, 1);
+        };
+        let Ok(doc) = json::parse(&text) else {
+            reject("malformed JSON");
+            return None;
+        };
+        if doc.get("schema").and_then(JsonValue::as_u64) != Some(STORE_SCHEMA) {
+            reject("schema mismatch");
+            return None;
+        }
+        if doc.get("key").and_then(JsonValue::as_str) != Some(key.hex().as_str()) {
+            reject("key mismatch");
+            return None;
+        }
+        let Some(payload) = doc.get("payload") else {
+            reject("missing payload");
+            return None;
+        };
+        if doc.get("check").and_then(JsonValue::as_str) != Some(payload_check(payload).as_str()) {
+            reject("checksum mismatch");
+            return None;
+        }
+        let payload = payload.clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        sink.add(Counter::StoreHits, 1);
+        Some(payload)
+    }
+
+    /// Store `payload` under `key` (atomically, replacing any previous
+    /// entry for the key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the entry cannot be written;
+    /// callers treat this as non-fatal (the result was computed, only
+    /// the cache write failed).
+    pub fn put(
+        &self,
+        key: &StoreKey,
+        payload: &JsonValue,
+        sink: &dyn MetricsSink,
+    ) -> Result<(), StoreError> {
+        let doc = JsonValue::Object(vec![
+            ("schema".to_string(), JsonValue::Number(STORE_SCHEMA as f64)),
+            ("key".to_string(), JsonValue::String(key.hex())),
+            (
+                "check".to_string(),
+                JsonValue::String(payload_check(payload)),
+            ),
+            ("payload".to_string(), payload.clone()),
+        ]);
+        atomic_write(&self.entry_path(key), &doc.to_compact())?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        sink.add(Counter::StoreWrites, 1);
+        Ok(())
+    }
+
+    /// Cache hits since this handle was opened.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since this handle was opened.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entry writes since this handle was opened.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Evictions (corrupt/stale entries removed) since this handle was
+    /// opened.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// One-line human summary of cache traffic, e.g.
+    /// `5 hits, 0 misses, 0 writes, 0 evictions`.
+    #[must_use]
+    pub fn traffic_summary(&self) -> String {
+        format!(
+            "{} hits, {} misses, {} writes, {} evictions",
+            self.hits(),
+            self.misses(),
+            self.writes(),
+            self.evictions()
+        )
+    }
+
+    pub(crate) fn note_eviction(&self, sink: &dyn MetricsSink) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        sink.add(Counter::StoreEvictions, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modsoc_metrics::{NullSink, RecordingSink};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("modsoc_store_test_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key_of(data: &[u8]) -> StoreKey {
+        StoreKey(sha256::digest(data))
+    }
+
+    fn sample_payload() -> JsonValue {
+        json::parse(r#"{"patterns":["01X","1X0"],"coverage":0.875}"#).unwrap()
+    }
+
+    #[test]
+    fn round_trip_hit() {
+        let root = temp_root("round_trip");
+        let store = ResultStore::open(&root).unwrap();
+        let key = key_of(b"unit-1");
+        let sink = RecordingSink::new();
+        assert!(store.get(&key, &sink).is_none());
+        store.put(&key, &sample_payload(), &sink).unwrap();
+        assert_eq!(store.get(&key, &sink), Some(sample_payload()));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.writes(), 1);
+        assert_eq!(store.evictions(), 0);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(Counter::StoreHits), 1);
+        assert_eq!(snap.counter(Counter::StoreMisses), 1);
+        assert_eq!(snap.counter(Counter::StoreWrites), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_entry_is_evicted_not_fatal() {
+        let root = temp_root("truncated");
+        let store = ResultStore::open(&root).unwrap();
+        let key = key_of(b"unit-2");
+        store.put(&key, &sample_payload(), &NullSink).unwrap();
+        let path = store.entry_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(store.get(&key, &NullSink).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert!(!path.exists(), "corrupt entry must be removed");
+        // The slot is reusable after eviction.
+        store.put(&key, &sample_payload(), &NullSink).unwrap();
+        assert!(store.get(&key, &NullSink).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn byte_flip_in_payload_is_detected() {
+        let root = temp_root("byteflip");
+        let store = ResultStore::open(&root).unwrap();
+        let key = key_of(b"unit-3");
+        store.put(&key, &sample_payload(), &NullSink).unwrap();
+        let path = store.entry_path(&key);
+        // Flip a digit inside the payload; the envelope stays
+        // well-formed JSON but the checksum no longer matches.
+        let text = fs::read_to_string(&path).unwrap();
+        let flipped = text.replace("0.875", "0.975");
+        assert_ne!(text, flipped, "test must actually change the payload");
+        fs::write(&path, flipped).unwrap();
+        assert!(store.get(&key, &NullSink).is_none());
+        assert_eq!(store.evictions(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wrong_key_in_envelope_is_rejected() {
+        let root = temp_root("wrongkey");
+        let store = ResultStore::open(&root).unwrap();
+        let a = key_of(b"a");
+        let b = key_of(b"b");
+        store.put(&a, &sample_payload(), &NullSink).unwrap();
+        // Copy a's entry into b's slot: self-consistent, but addressed
+        // wrong — must be rejected.
+        fs::copy(store.entry_path(&a), store.entry_path(&b)).unwrap();
+        assert!(store.get(&b, &NullSink).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get(&a, &NullSink).is_some(), "a is untouched");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_mismatch_resets_the_store() {
+        let root = temp_root("manifest");
+        let store = ResultStore::open(&root).unwrap();
+        let key = key_of(b"unit-4");
+        store.put(&key, &sample_payload(), &NullSink).unwrap();
+        drop(store);
+        fs::write(
+            root.join("manifest.json"),
+            "{\"format\":\"modsoc-store\",\"schema\":999}",
+        )
+        .unwrap();
+        let store = ResultStore::open(&root).unwrap();
+        assert_eq!(store.evictions(), 1, "old entry evicted on reset");
+        assert!(store.get(&key, &NullSink).is_none());
+        // Manifest is rewritten to the current schema.
+        let text = fs::read_to_string(root.join("manifest.json")).unwrap();
+        assert!(text.contains("\"schema\":1"), "{text}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_preserves_entries() {
+        let root = temp_root("reopen");
+        let key = key_of(b"unit-5");
+        {
+            let store = ResultStore::open(&root).unwrap();
+            store.put(&key, &sample_payload(), &NullSink).unwrap();
+        }
+        let store = ResultStore::open(&root).unwrap();
+        assert_eq!(store.get(&key, &NullSink), Some(sample_payload()));
+        assert_eq!(store.evictions(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn key_display_is_hex() {
+        let key = key_of(b"abc");
+        assert_eq!(
+            key.to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(format!("{key:?}"), format!("StoreKey({key})"));
+    }
+}

@@ -5,7 +5,9 @@
 //!                           [--jobs N] [--metrics FILE]
 //! modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
 //!                                    [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
-//!                                    [--metrics FILE]
+//!                                    [--metrics FILE] [--store DIR] [--no-store-read]
+//! modsoc campaign <spec.json> --store DIR [--jobs N] [--keep-going] [--no-store-read]
+//!                             [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //! modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //!                          [--patterns-out FILE] [--verilog-out FILE]
 //! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -19,6 +21,11 @@
 //! `--metrics FILE` writes a structured JSON run report (phase timings,
 //! engine counters, per-core breakdown); every field except wall times,
 //! `jobs` and the `sched` objects is identical at any `--jobs` value.
+//! `--store DIR` caches every engine result content-addressed on disk:
+//! a warm run fetches instead of recomputing (the report stays
+//! byte-identical) and `modsoc campaign` journals per-unit completion
+//! there, so an interrupted campaign resumes where it stopped.
+//! `--no-store-read` skips lookups and recomputes (refreshing entries).
 //!
 //! Exit codes: `0` complete, `2` partial result on a tripped run budget
 //! or a degraded (`--keep-going`) analysis, `1` error.
@@ -29,6 +36,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use std::sync::Arc;
+
+use modsoc::analysis::campaign::{run_campaign, CampaignSpec, UnitStatus};
 use modsoc::analysis::experiment::{run_soc_experiment_guarded, ExperimentOptions};
 use modsoc::analysis::metrics::{
     analysis_run_metrics, run_soc_experiment_metered, Phase, PhaseTimer, RecordingSink, RunMetrics,
@@ -41,12 +51,14 @@ use modsoc::analysis::tdv::core_tdv_checked;
 use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
 use modsoc::circuitgen::{generate, CoreProfile};
+use modsoc::metrics::NullSink;
 use modsoc::netlist::bench_format::{parse_bench, write_bench};
 use modsoc::netlist::cone::extract_cones;
 use modsoc::netlist::verilog::{dff_module, write_verilog};
 use modsoc::netlist::CircuitStats;
 use modsoc::soc::format::parse_soc;
 use modsoc::soc::itc02;
+use modsoc::store::ResultStore;
 
 /// How a subcommand ended when it did not error.
 enum RunStatus {
@@ -75,7 +87,9 @@ const USAGE: &str = "usage:
                             [--jobs N] [--metrics FILE]
   modsoc experiment <mini|soc1|soc2> [--seed S] [--jobs N] [--fail-fast] [--skip-monolithic]
                                      [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
-                                     [--metrics FILE]
+                                     [--metrics FILE] [--store DIR] [--no-store-read]
+  modsoc campaign <spec.json> --store DIR [--jobs N] [--keep-going] [--no-store-read]
+                              [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
   modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
                            [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -88,12 +102,20 @@ const USAGE: &str = "usage:
 reports are identical at any value.
 --metrics FILE writes a structured JSON run report; everything except
 wall times, jobs and sched objects is identical at any --jobs value.
+--store DIR caches engine results content-addressed on disk (warm runs
+fetch instead of recomputing; reports stay byte-identical) and holds
+campaign journals so interrupted campaigns resume where they stopped.
 exit codes: 0 complete, 2 partial (budget tripped / degraded cores), 1 error";
 
 fn run(args: &[String]) -> Result<RunStatus, String> {
     match args.first().map(String::as_str) {
+        Some("--version" | "-V") => {
+            println!("modsoc {}", env!("CARGO_PKG_VERSION"));
+            Ok(RunStatus::Complete)
+        }
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("cones") => cmd_cones(&args[1..]),
@@ -132,6 +154,7 @@ fn positional(args: &[String]) -> Option<&str> {
                     | "--keep-going"
                     | "--fail-fast"
                     | "--skip-monolithic"
+                    | "--no-store-read"
             );
             continue;
         }
@@ -190,6 +213,16 @@ fn jobs_from_flags(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--jobs") {
         Some(n) => parse_num(n, "--jobs"),
         None => Ok(1),
+    }
+}
+
+/// Open the `--store` result store, if the flag was given.
+fn open_store_from_flags(args: &[String]) -> Result<Option<Arc<ResultStore>>, String> {
+    match flag_value(args, "--store") {
+        Some(dir) => ResultStore::open(std::path::Path::new(dir))
+            .map(|s| Some(Arc::new(s)))
+            .map_err(|e| format!("opening store {dir}: {e}")),
+        None => Ok(None),
     }
 }
 
@@ -323,7 +356,7 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
 fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
     check_flags(
         args,
-        &["--fail-fast", "--skip-monolithic"],
+        &["--fail-fast", "--skip-monolithic", "--no-store-read"],
         &[
             "--seed",
             "--jobs",
@@ -331,6 +364,7 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
             "--max-patterns",
             "--max-backtracks",
             "--metrics",
+            "--store",
         ],
     )?;
     let seed: u64 = match flag_value(args, "--seed") {
@@ -354,6 +388,12 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
         .with_fail_fast(has_flag(args, "--fail-fast"));
     if has_flag(args, "--skip-monolithic") {
         options = options.modular_only();
+    }
+    let store = open_store_from_flags(args)?;
+    if let Some(store) = &store {
+        options = options
+            .with_store(Arc::clone(store))
+            .with_store_read(!has_flag(args, "--no-store-read"));
     }
     let budget = budget_from_flags(args)?;
     let (completion, metrics) = match flag_value(args, "--metrics") {
@@ -393,6 +433,10 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
         println!("{}", render_metrics_table(metrics));
         write_metrics(out, metrics)?;
     }
+    if let Some(store) = &store {
+        // Stderr, so warm and cold stdout reports diff clean.
+        eprintln!("store: {}", store.traffic_summary());
+    }
     if completion.is_complete() {
         return Ok(RunStatus::Complete);
     }
@@ -407,6 +451,81 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
         );
     }
     Ok(RunStatus::Partial)
+}
+
+/// Run a resumable campaign of SOC experiments from a JSON spec,
+/// journaling per-unit completion into the `--store` directory so a
+/// re-invocation skips everything that already finished.
+fn cmd_campaign(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--keep-going", "--no-store-read"],
+        &[
+            "--store",
+            "--jobs",
+            "--timeout-ms",
+            "--max-patterns",
+            "--max-backtracks",
+        ],
+    )?;
+    let path = positional(args).ok_or("campaign needs a spec.json file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let spec = CampaignSpec::from_json(&text).map_err(|e| e.to_string())?;
+    // The journal lives in the store, so the store is not optional here.
+    let store = open_store_from_flags(args)?
+        .ok_or("campaign requires --store DIR (the journal lives there)")?;
+    let options = ExperimentOptions::paper_tables_1_2()
+        .with_jobs(jobs_from_flags(args)?)
+        .with_store(Arc::clone(&store))
+        .with_store_read(!has_flag(args, "--no-store-read"));
+    let budget = budget_from_flags(args)?;
+    let report = run_campaign(
+        &spec,
+        &options,
+        &budget,
+        &store,
+        has_flag(args, "--keep-going"),
+        &NullSink,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("campaign {} ({} units)", report.name, report.units.len());
+    println!(
+        "{:<16} {:<8} {:>8} {:>15} {:>15} {:>7}",
+        "unit", "status", "T_mono", "TDV modular", "TDV monolithic", "ratio"
+    );
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), fmt_u64);
+    for row in &report.units {
+        println!(
+            "{:<16} {:<8} {:>8} {:>15} {:>15} {:>7}{}",
+            row.unit,
+            row.status.label(),
+            row.t_mono
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            opt(row.tdv_modular),
+            opt(row.tdv_monolithic),
+            row.reduction_ratio
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.2}")),
+            if row.note.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", row.note)
+            }
+        );
+    }
+    eprintln!("store: {}", store.traffic_summary());
+    if report.is_complete() {
+        Ok(RunStatus::Complete)
+    } else {
+        let skipped = report.count(&UnitStatus::Skipped);
+        let done = report.count(&UnitStatus::Complete);
+        eprintln!(
+            "warning: campaign incomplete ({} of {} units done); re-run to resume",
+            skipped + done,
+            report.units.len()
+        );
+        Ok(RunStatus::Partial)
+    }
 }
 
 fn cmd_atpg(args: &[String]) -> Result<RunStatus, String> {

@@ -19,6 +19,8 @@
 //!   monolithic-vs-modular comparison engine, and table renderers.
 //! * [`tam`] — wrapper chain design, TAM architectures and test
 //!   scheduling (the paper's cited context, refs 12, 13 and 21).
+//! * [`store`] — content-addressed on-disk result store and campaign
+//!   journals (`--store`, `modsoc campaign`).
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,8 @@
 pub use modsoc_atpg as atpg;
 pub use modsoc_circuitgen as circuitgen;
 pub use modsoc_core as analysis;
+pub use modsoc_metrics as metrics;
 pub use modsoc_netlist as netlist;
 pub use modsoc_soc as soc;
+pub use modsoc_store as store;
 pub use modsoc_tam as tam;

@@ -352,13 +352,17 @@ fn experiment_rejects_unknown_target_and_bad_jobs() {
 }
 
 /// Strip the volatile lines of a metrics report — wall times (`*_ms`),
-/// the single-line `sched` objects, and the `jobs` field — exactly like
-/// the shell-level determinism gate in ci.sh does with grep.
+/// the single-line `sched` objects, the `jobs` field, and the store
+/// traffic counters (`store_*`, which depend on cache warmth) — exactly
+/// like the shell-level determinism gate in ci.sh does with grep.
 fn volatile_filtered(report: &str) -> String {
     report
         .lines()
         .filter(|l| {
-            !(l.contains("_ms\":") || l.contains("\"sched\": ") || l.contains("\"jobs\": "))
+            !(l.contains("_ms\":")
+                || l.contains("\"sched\": ")
+                || l.contains("\"jobs\": ")
+                || l.contains("\"store_"))
         })
         .collect::<Vec<_>>()
         .join("\n")
@@ -483,6 +487,148 @@ fn experiment_budget_trip_on_monolithic_only_exits_2() {
     }
     assert!(text.contains("<monolithic>"), "{text}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("partial result"));
+}
+
+#[test]
+fn version_flag_prints_the_crate_version() {
+    for flag in ["--version", "-V"] {
+        let out = modsoc(&[flag]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(text.trim(), concat!("modsoc ", env!("CARGO_PKG_VERSION")));
+    }
+}
+
+#[test]
+fn experiment_store_warm_run_is_byte_identical_with_cache_hits() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.join("store");
+    let run = |jobs: &str| {
+        let out = modsoc(&[
+            "experiment",
+            "mini",
+            "--jobs",
+            jobs,
+            "--store",
+            store.to_str().expect("utf8 path"),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, String::from_utf8_lossy(&out.stderr).to_string())
+    };
+    let (cold_stdout, cold_stderr) = run("1");
+    // Cold: 2 cores + monolithic, all computed and written.
+    assert!(
+        cold_stderr.contains("store: 0 hits, 3 misses, 3 writes"),
+        "{cold_stderr}"
+    );
+    // Warm runs are byte-identical on stdout at any --jobs, with one
+    // cache hit per engine run reported on stderr.
+    for jobs in ["1", "4"] {
+        let (warm_stdout, warm_stderr) = run(jobs);
+        assert_eq!(warm_stdout, cold_stdout, "jobs={jobs}");
+        assert!(
+            warm_stderr.contains("store: 3 hits, 0 misses, 0 writes"),
+            "{warm_stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_runs_then_resumes_by_skipping_journaled_units() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_campaign_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"schema":1,"name":"cli","units":[
+            {"name":"m7","soc":"mini","seed":7},
+            {"name":"m9","soc":"mini","seed":9}
+        ]}"#,
+    )
+    .expect("write spec");
+    let store = dir.join("store");
+    let run = || {
+        let out = modsoc(&[
+            "campaign",
+            spec.to_str().expect("utf8 path"),
+            "--store",
+            store.to_str().expect("utf8 path"),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let first = run();
+    assert!(first.contains("campaign cli (2 units)"), "{first}");
+    assert_eq!(first.matches(" ok ").count(), 2, "{first}");
+    let second = run();
+    assert_eq!(second.matches("skipped").count(), 2, "{second}");
+    // Skipped rows reprint the journaled numbers: the reports agree
+    // apart from the status column.
+    let normalized = |report: &str| {
+        report
+            .lines()
+            .map(|l| {
+                let l = l.split_whitespace().collect::<Vec<_>>().join(" ");
+                l.replace(" ok ", " * ").replace(" skipped ", " * ")
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(normalized(&first), normalized(&second));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_without_store_is_an_error() {
+    let dir = std::env::temp_dir().join(format!("modsoc_cli_campns_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"schema":1,"name":"x","units":[{"name":"m","soc":"mini"}]}"#,
+    )
+    .expect("write spec");
+    let out = modsoc(&["campaign", spec.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_soc1_fixture_reproduces_table_1() {
+    let out = modsoc(&[
+        "analyze",
+        "testdata/soc1.soc",
+        "--exclude-chip-pins",
+        "--measured-tmono",
+        "216",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("45,183"), "{text}");
+    assert!(text.contains("129,816"), "{text}");
 }
 
 #[test]

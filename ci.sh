@@ -100,6 +100,52 @@ grep -q " ok " "$workdir/camp1.txt" \
 [ "$(grep -c "skipped" "$workdir/camp2.txt")" -eq 2 ] \
   || { echo "FAIL: re-invoked campaign did not skip its journaled units"; cat "$workdir/camp2.txt"; exit 1; }
 
+echo "== serve gate (daemon parity, shedding, graceful drain)"
+# The service layer's contract: a served analyze is byte-identical to
+# the CLI, a mixed workload passes the loadgen corruption check, a
+# flooded daemon sheds with 503 (never hangs), and both shutdown paths
+# (POST /shutdown, SIGTERM) drain and exit 0.
+serve_store="$workdir/serve_store"
+./target/release/modsoc serve --addr 127.0.0.1:0 --workers 2 --store "$serve_store" \
+  > "$workdir/serve.log" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$workdir/serve.log" && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's|.*http://||p' "$workdir/serve.log")"
+[ -n "$serve_addr" ] || { echo "FAIL: serve did not report its address"; exit 1; }
+./target/release/modsoc analyze testdata/soc1.soc > "$workdir/serve_cli.txt"
+./target/release/modsoc loadgen --addr "$serve_addr" --analyze-file testdata/soc1.soc \
+  > "$workdir/serve_http.txt"
+diff "$workdir/serve_cli.txt" "$workdir/serve_http.txt" \
+  || { echo "FAIL: served analyze diverges from CLI stdout"; exit 1; }
+./target/release/modsoc loadgen --addr "$serve_addr" --requests 48 --concurrency 8 --seed 20080310 \
+  > "$workdir/loadgen.txt"
+grep -q "zero-corruption check: PASS" "$workdir/loadgen.txt" \
+  || { echo "FAIL: loadgen corruption check"; cat "$workdir/loadgen.txt"; exit 1; }
+./target/release/modsoc loadgen --addr "$serve_addr" --shutdown > /dev/null
+wait "$serve_pid" \
+  || { echo "FAIL: daemon did not exit 0 after POST /shutdown"; exit 1; }
+
+# A constrained second daemon must shed under flood and drain on SIGTERM.
+./target/release/modsoc serve --addr 127.0.0.1:0 --workers 1 --queue 2 \
+  > "$workdir/serve2.log" 2>/dev/null &
+serve2_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$workdir/serve2.log" && break
+  sleep 0.1
+done
+serve2_addr="$(sed -n 's|.*http://||p' "$workdir/serve2.log")"
+./target/release/modsoc loadgen --addr "$serve2_addr" --flood 24 > "$workdir/flood.txt"
+grep -q "shed with 503" "$workdir/flood.txt" \
+  || { echo "FAIL: flood report missing"; cat "$workdir/flood.txt"; exit 1; }
+grep -q "retry-after on all 503s: PASS" "$workdir/flood.txt" \
+  || { echo "FAIL: 503s without Retry-After"; cat "$workdir/flood.txt"; exit 1; }
+kill -TERM "$serve2_pid"
+wait "$serve2_pid" \
+  || { echo "FAIL: daemon did not exit 0 after SIGTERM"; exit 1; }
+
 if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
   echo "== perf regression gate (atpg_phase_bench --check, +25% tolerance)"
   cargo build -q --release -p modsoc-bench --bin atpg_phase_bench

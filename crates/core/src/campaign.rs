@@ -88,6 +88,21 @@ pub struct CampaignUnit {
     pub skip_monolithic: bool,
 }
 
+impl CampaignUnit {
+    /// Parse one unit from its campaign-spec JSON row — the same parser
+    /// the campaign runner uses, exposed so `modsoc serve` can accept
+    /// unit-shaped request bodies and key them identically
+    /// (see [`unit_key`]). `index` only labels error messages for rows
+    /// with no `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Campaign`] describing the malformed field.
+    pub fn from_json(row: &JsonValue, index: usize) -> Result<CampaignUnit, AnalysisError> {
+        parse_unit(row, index)
+    }
+}
+
 /// A parsed campaign spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignSpec {
@@ -580,7 +595,7 @@ where
                         key: key.hex(),
                         summary: summarize(&completion),
                     };
-                    if let Err(e) = journal.record(entry) {
+                    if let Err(e) = journal.record(entry, sink) {
                         eprintln!("store: journal write failed for '{}': {e}", unit.name);
                     }
                 }

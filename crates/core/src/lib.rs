@@ -37,6 +37,11 @@
 //!   serializable [`metrics::RunMetrics`] report whose deterministic
 //!   sections are byte-identical at any `--jobs` value (the CI
 //!   determinism and perf-regression gates consume these reports).
+//! * [`serve`] — the `modsoc serve` daemon: a fault-tolerant HTTP
+//!   service layer over the pipeline with bounded admission queues,
+//!   content-address request coalescing, per-request budget caps,
+//!   panic isolation, load shedding (`503` + `Retry-After`) and
+//!   graceful drain — see `DESIGN.md` §13.
 //! * [`campaign`] — resumable experiment campaigns: a JSON spec of SOC
 //!   experiment units run through the pipeline, journaling per-unit
 //!   completion to a content-addressed result store
@@ -78,6 +83,7 @@ pub mod parallel;
 pub mod reconstruct;
 pub mod report;
 pub mod runctl;
+pub mod serve;
 pub mod tdv;
 pub mod timecost;
 

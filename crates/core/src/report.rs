@@ -23,6 +23,20 @@ pub fn fmt_u64(v: u64) -> String {
     out
 }
 
+/// Render the full `modsoc analyze` report — SOC summary line, per-core
+/// table, modular-change footer — byte-identical to what the CLI's
+/// strict path writes to stdout. `modsoc serve`'s `/analyze` endpoint
+/// with `"format": "text"` returns exactly this string, which is what
+/// the CI serve gate byte-diffs against a CLI run.
+#[must_use]
+pub fn render_analyze_report(soc: &Soc, analysis: &SocTdvAnalysis) -> String {
+    format!(
+        "{soc}\n{}\nmodular change vs optimistic monolithic: {:+.1}%\n",
+        render_core_table(soc, analysis),
+        analysis.modular_change_pct()
+    )
+}
+
 /// Render a Tables 1–3 style per-core TDV table.
 ///
 /// Columns: core, I, O, B, S, T, ISOCOST, TDV; followed by the SOC

@@ -1,0 +1,1185 @@
+//! `modsoc serve`: a fault-tolerant ATPG service layer.
+//!
+//! The paper's modular-testing argument is about serving many cores'
+//! test workloads through shared, contended infrastructure; this module
+//! is that shape made literal — a long-lived daemon that accepts
+//! `analyze`/`experiment` requests over hand-rolled HTTP/1.1 (plain
+//! `TcpListener`, no external dependencies, per the workspace policy)
+//! and multiplexes them onto a bounded worker pool. It is engineered to
+//! degrade instead of falling over (see `DESIGN.md` §13):
+//!
+//! * **Admission control** — a bounded queue between the accept loop
+//!   and the workers. Queue full or connection cap reached ⇒ the
+//!   request is *shed* with `503` + `Retry-After`, never parked
+//!   unboundedly.
+//! * **Request coalescing** — experiment requests are keyed by the
+//!   store's canonical content address ([`crate::campaign::unit_key`]);
+//!   N concurrent identical requests block on one computation and all
+//!   observe the same bytes. Cross-process writers are serialized by
+//!   `modsoc_store`'s advisory locks.
+//! * **Budget caps** — every request runs under a server-enforced
+//!   [`RunBudget`] deadline, so one pathological netlist cannot starve
+//!   the pool. A tripped budget is `200` with `"status":"partial"`; a
+//!   deadline so tight nothing ran is `504`.
+//! * **Panic isolation** — handler computations run inside
+//!   [`crate::runctl::guard`]; a panic is a `500` for that request and
+//!   the worker survives.
+//! * **Slow-client defense** — read/write timeouts on every connection;
+//!   a slowloris writer is dropped, not waited on.
+//! * **Observability** — `GET /metrics` serves a live JSON snapshot of
+//!   the [`modsoc_metrics`] sink (queue depth, coalesce hits, shed
+//!   count, per-phase timings).
+//! * **Graceful drain** — shutdown (SIGTERM/ctrl-c in the CLI, or
+//!   `POST /shutdown`) stops accepting, finishes queued work, and
+//!   returns; nothing is journaled half-written because every store
+//!   write stays atomic + locked.
+//!
+//! # Endpoints
+//!
+//! | Method | Path        | Body                                   | Success |
+//! |--------|-------------|----------------------------------------|---------|
+//! | POST   | `/analyze`  | `{"soc": "<.soc text>", …}`            | 200     |
+//! | POST   | `/experiment` | campaign-unit JSON (+ `timeout_ms`)  | 200     |
+//! | GET    | `/metrics`  | —                                      | 200     |
+//! | GET    | `/healthz`  | —                                      | 200     |
+//! | POST   | `/shutdown` | —                                      | 200     |
+//!
+//! Overload taxonomy: `400` malformed request, `404`/`405` wrong
+//! route/method, `413` body over the cap, `422` valid request the
+//! engine rejects, `500` isolated panic, `503` + `Retry-After` shed at
+//! admission, `504` deadline exhausted before anything was analyzable.
+
+use crate::analysis::SocTdvAnalysis;
+use crate::campaign::{build_unit_netlist, unit_key, CampaignUnit};
+use crate::experiment::{run_soc_experiment_guarded, ExperimentOptions};
+use crate::report::render_analyze_report;
+use crate::runctl::{guard, guard_result, CoreFailure};
+use crate::tdv::{core_tdv_checked, TdvOptions};
+use crate::RunBudget;
+use modsoc_metrics::json::{self, JsonValue};
+use modsoc_metrics::{Counter, MetricsSink, MetricsSnapshot, Phase, PhaseTimer, RecordingSink};
+use modsoc_soc::format::parse_soc;
+use modsoc_store::ResultStore;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Hard cap on request head (request line + headers) bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How long the accept loop sleeps between polls of a quiet listener —
+/// also the latency bound on noticing a shutdown request.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads serving requests (each runs one request at a
+    /// time; per-request engine parallelism is `jobs`).
+    pub workers: usize,
+    /// Bounded admission queue: connections accepted but not yet
+    /// claimed by a worker. Beyond this, requests are shed with 503.
+    pub queue_capacity: usize,
+    /// Cap on connections in flight (queued + in service). Beyond
+    /// this, requests are shed with 503.
+    pub max_connections: usize,
+    /// Request bodies over this many bytes get 413.
+    pub max_body_bytes: usize,
+    /// Socket read timeout: a client that stalls mid-request
+    /// (slowloris) is dropped when it expires.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops draining its response
+    /// is dropped when it expires.
+    pub write_timeout: Duration,
+    /// Server-enforced deadline cap per request, in milliseconds. A
+    /// request's own `timeout_ms` may shorten it but never extend it.
+    pub max_request_ms: u64,
+    /// `Retry-After` seconds advertised on shed (503) responses.
+    pub retry_after_secs: u64,
+    /// Engine worker threads per request (`ExperimentOptions::jobs`).
+    pub jobs: usize,
+    /// Content-addressed result store shared with CLI runs; also the
+    /// coalescing key domain.
+    pub store: Option<Arc<ResultStore>>,
+    /// Whether store lookups are performed (`false` refreshes entries).
+    pub store_read: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 256,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_ms: 30_000,
+            retry_after_secs: 1,
+            jobs: 1,
+            store: None,
+            store_read: true,
+        }
+    }
+}
+
+/// An HTTP response to one served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: JsonValue) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            body: body.to_compact(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            JsonValue::Object(vec![
+                ("status".to_string(), JsonValue::String("error".to_string())),
+                ("error".to_string(), JsonValue::String(message.to_string())),
+            ]),
+        )
+    }
+}
+
+/// One in-flight coalesced computation: followers wait on the condvar
+/// until the leader publishes the response.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+/// State shared between the accept loop, the workers and handles.
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    sink: RecordingSink,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Connections admitted and not yet fully served.
+    active: AtomicUsize,
+    started: Instant,
+    inflight: Mutex<HashMap<[u8; 32], Arc<Flight>>>,
+}
+
+/// Lock that survives a poisoned mutex: a panicking holder is already
+/// isolated per request, and serving degraded beats deadlocking the
+/// daemon.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A handle for triggering (and observing) shutdown from outside
+/// [`Server::run`] — a signal-watcher thread, a test, or the
+/// `POST /shutdown` endpoint.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin a graceful drain: stop accepting, finish queued work,
+    /// make [`Server::run`] return. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The `modsoc serve` daemon: admission queue → coalesce → worker pool
+/// → respond. See the module docs for the architecture.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener (port 0 picks an ephemeral port; read it back
+    /// with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                sink: RecordingSink::new(),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                started: Instant::now(),
+                inflight: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from other threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain the queue and
+    /// return the final metrics snapshot. The accept loop runs on the
+    /// calling thread; `config.workers` request workers are scoped to
+    /// this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures. Per-request errors
+    /// never surface here — they become HTTP error responses.
+    pub fn run(self) -> io::Result<MetricsSnapshot> {
+        self.listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        std::thread::scope(|s| {
+            for _ in 0..shared.config.workers.max(1) {
+                s.spawn(move || worker_loop(shared));
+            }
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => admit(shared, stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    // Transient accept failures (EMFILE under load,
+                    // aborted handshakes) must not kill the daemon.
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            shared.queue_cv.notify_all();
+        });
+        Ok(self.shared.sink.snapshot())
+    }
+}
+
+/// Admission control: shed with 503 when the connection cap or the
+/// queue bound is hit, otherwise enqueue for a worker.
+fn admit(shared: &Shared, stream: TcpStream) {
+    let over_cap = shared.active.load(Ordering::SeqCst) >= shared.config.max_connections;
+    if !over_cap {
+        let mut queue = lock_clean(&shared.queue);
+        if queue.len() < shared.config.queue_capacity {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            queue.push_back(stream);
+            drop(queue);
+            shared.queue_cv.notify_one();
+            return;
+        }
+    }
+    shed(shared, stream);
+}
+
+/// Refuse one connection with `503` + `Retry-After` (never a hang: the
+/// socket gets short timeouts and is closed either way).
+///
+/// After writing the refusal the unread request is drained briefly:
+/// closing with unread bytes in the receive buffer makes the kernel
+/// send RST, which can destroy the buffered 503 before the client
+/// reads it. The drain runs on the accept thread, so its timeout is
+/// deliberately tiny — a well-behaved client half-closes right after
+/// sending and hits EOF immediately; a stalling one costs at most
+/// ~200 ms of accept latency, not a worker.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.sink.add(Counter::ServeShed, 1);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let resp = Response {
+        retry_after: Some(shared.config.retry_after_secs),
+        ..Response::error(503, "server is at capacity, retry shortly")
+    };
+    let _ = write_response(&mut stream, &resp);
+    drain_body(&mut stream);
+}
+
+/// One worker: claim queued connections until shutdown *and* the queue
+/// is drained (graceful shutdown finishes admitted work).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = lock_clean(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = q;
+            }
+        };
+        // The outer guard is the worker's last line of defense: even a
+        // panic outside the handler's own guard (e.g. in response
+        // serialization) costs one connection, not the worker.
+        if guard(|| serve_connection(shared, stream)).is_err() {
+            shared.sink.add(Counter::ServePanics, 1);
+        }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Read, route, respond, close.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _t = PhaseTimer::start(&shared.sink, Phase::ServeRequest);
+    shared.sink.add(Counter::ServeRequests, 1);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(req) => route(shared, &req),
+        // The client vanished or stalled past the read timeout: there
+        // is nobody worth answering. Close and move on.
+        Err(ReadError::Disconnected | ReadError::Stalled) => return,
+        Err(ReadError::TooLarge) => {
+            // Drain what the client is still sending before answering,
+            // or a client mid-`write` sees a reset instead of the 413.
+            // Bounded by `DRAIN_LIMIT` and the read timeout.
+            drain_body(&mut stream);
+            Response::error(413, "request body exceeds the size cap")
+        }
+        Err(ReadError::Malformed) => Response::error(400, "malformed HTTP request"),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// A parsed request: method, path, body.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+#[derive(Debug)]
+enum ReadError {
+    /// Peer closed or reset before a full request arrived.
+    Disconnected,
+    /// Read timeout expired mid-request (slowloris defense).
+    Stalled,
+    /// Body (or head) over the configured cap.
+    TooLarge,
+    /// Not parseable as HTTP/1.1.
+    Malformed,
+}
+
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(), ReadError> {
+    let mut tmp = [0u8; 4096];
+    match stream.read(&mut tmp) {
+        Ok(0) => Err(ReadError::Disconnected),
+        Ok(n) => {
+            buf.extend_from_slice(&tmp[..n]);
+            Ok(())
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(ReadError::Stalled)
+        }
+        Err(_) => Err(ReadError::Disconnected),
+    }
+}
+
+/// Cap on how much of a rejected oversized body the server reads and
+/// discards before responding 413. Past it the client just sees the
+/// connection close.
+const DRAIN_LIMIT: usize = 16 * 1024 * 1024;
+
+/// Swallow the remainder of a rejected request body so the refusal can
+/// be delivered to a client still mid-send. Stops at EOF (a client that
+/// half-closed after sending), the read timeout, or [`DRAIN_LIMIT`].
+fn drain_body(stream: &mut TcpStream) {
+    let mut tmp = [0u8; 8192];
+    let mut total = 0usize;
+    while total < DRAIN_LIMIT {
+        match stream.read(&mut tmp) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body) with hard caps on head and body size.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        read_some(stream, &mut buf)?;
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| ReadError::Malformed)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(ReadError::Malformed)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or(ReadError::Malformed)?.to_string();
+    let path = parts.next().ok_or(ReadError::Malformed)?.to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ReadError::Malformed),
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| ReadError::Malformed)?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes: ignore them, this server is
+        // one-request-per-connection.
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let before = body.len();
+        read_some(stream, &mut body)?;
+        if body.len() == before {
+            return Err(ReadError::Disconnected);
+        }
+        if body.len() > content_length {
+            body.truncate(content_length);
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            JsonValue::Object(vec![(
+                "status".to_string(),
+                JsonValue::String("ok".to_string()),
+            )]),
+        ),
+        ("GET", "/metrics") => metrics_response(shared),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            Response::json(
+                200,
+                JsonValue::Object(vec![(
+                    "status".to_string(),
+                    JsonValue::String("draining".to_string()),
+                )]),
+            )
+        }
+        ("POST", "/analyze") => handle_analyze(shared, &req.body),
+        ("POST", "/experiment") => handle_experiment(shared, &req.body),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/experiment") => {
+            Response::error(405, "method not allowed for this path")
+        }
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+/// The live `/metrics` snapshot: queue/connection gauges plus every
+/// counter and phase accumulator from the serve sink.
+fn metrics_response(shared: &Shared) -> Response {
+    let snap = shared.sink.snapshot();
+    let counters = JsonValue::Object(
+        Counter::ALL
+            .iter()
+            .map(|c| {
+                (
+                    c.name().to_string(),
+                    JsonValue::Number(snap.counter(*c) as f64),
+                )
+            })
+            .collect(),
+    );
+    let phases = JsonValue::Object(
+        Phase::ALL
+            .iter()
+            .filter(|p| snap.phase_calls(**p) > 0)
+            .map(|p| {
+                (
+                    p.name().to_string(),
+                    JsonValue::Object(vec![
+                        (
+                            "calls".to_string(),
+                            JsonValue::Number(snap.phase_calls(*p) as f64),
+                        ),
+                        ("wall_ms".to_string(), JsonValue::Number(snap.phase_ms(*p))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let mut fields = vec![
+        ("schema".to_string(), JsonValue::Number(1.0)),
+        (
+            "uptime_ms".to_string(),
+            JsonValue::Number(shared.started.elapsed().as_secs_f64() * 1e3),
+        ),
+        (
+            "queue_depth".to_string(),
+            JsonValue::Number(lock_clean(&shared.queue).len() as f64),
+        ),
+        (
+            "queue_capacity".to_string(),
+            JsonValue::Number(shared.config.queue_capacity as f64),
+        ),
+        (
+            "active_connections".to_string(),
+            JsonValue::Number(shared.active.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "workers".to_string(),
+            JsonValue::Number(shared.config.workers as f64),
+        ),
+        ("counters".to_string(), counters),
+        ("phases".to_string(), phases),
+    ];
+    if let Some(store) = &shared.config.store {
+        fields.push((
+            "store".to_string(),
+            JsonValue::Object(vec![
+                ("hits".to_string(), JsonValue::Number(store.hits() as f64)),
+                (
+                    "misses".to_string(),
+                    JsonValue::Number(store.misses() as f64),
+                ),
+                (
+                    "writes".to_string(),
+                    JsonValue::Number(store.writes() as f64),
+                ),
+                (
+                    "evictions".to_string(),
+                    JsonValue::Number(store.evictions() as f64),
+                ),
+                (
+                    "retries".to_string(),
+                    JsonValue::Number(store.retries() as f64),
+                ),
+            ]),
+        ));
+    }
+    Response::json(200, JsonValue::Object(fields))
+}
+
+fn body_str(body: &[u8]) -> Result<&str, Response> {
+    std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))
+}
+
+/// `POST /analyze`: run the TDV analysis on an inline `.soc` document.
+///
+/// Body fields: `soc` (required, the `.soc` text), `exclude_chip_pins`
+/// (bool), `reuse` (0..=1), `measured_tmono` (u64), `format`
+/// (`"json"` default, or `"text"` for bytes identical to
+/// `modsoc analyze` stdout).
+fn handle_analyze(shared: &Shared, body: &[u8]) -> Response {
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::error(400, "request body is not valid JSON");
+    };
+    let Some(soc_text) = doc.get("soc").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing string field 'soc' (.soc file text)");
+    };
+    let exclude_chip_pins = matches!(doc.get("exclude_chip_pins"), Some(JsonValue::Bool(true)));
+    let reuse = doc.get("reuse").and_then(JsonValue::as_f64);
+    let measured_tmono = doc.get("measured_tmono").and_then(JsonValue::as_u64);
+    let as_text = doc.get("format").and_then(JsonValue::as_str) == Some("text");
+    if let Some(r) = reuse {
+        if !(0.0..=1.0).contains(&r) {
+            return Response::error(422, "'reuse' must be between 0 and 1");
+        }
+    }
+    let computed = guard_result(|| -> Result<_, String> {
+        let soc = parse_soc(soc_text).map_err(|e| e.to_string())?;
+        let mut options = if exclude_chip_pins {
+            TdvOptions::tables_1_2()
+        } else {
+            TdvOptions::tables_3_4()
+        };
+        if let Some(r) = reuse {
+            options = options.with_functional_reuse(r);
+        }
+        for (id, core) in soc.iter() {
+            if core_tdv_checked(&soc, id, &options).is_none() {
+                return Err(format!(
+                    "core `{}` overflows the TDV equations (corrupt counts?)",
+                    core.name
+                ));
+            }
+        }
+        let analysis = match measured_tmono {
+            Some(t) => SocTdvAnalysis::compute_with_measured_tmono(&soc, &options, t)
+                .map_err(|e| e.to_string())?,
+            None => SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?,
+        };
+        Ok((soc, analysis))
+    });
+    match computed {
+        Ok((soc, analysis)) => {
+            if as_text {
+                Response {
+                    status: 200,
+                    content_type: "text/plain; charset=utf-8",
+                    retry_after: None,
+                    body: render_analyze_report(&soc, &analysis),
+                }
+            } else {
+                Response::json(
+                    200,
+                    JsonValue::Object(vec![
+                        ("status".to_string(), JsonValue::String("ok".to_string())),
+                        ("soc".to_string(), JsonValue::String(soc.name().to_string())),
+                        (
+                            "tdv_modular".to_string(),
+                            JsonValue::Number(analysis.modular().total() as f64),
+                        ),
+                        (
+                            "tdv_monolithic".to_string(),
+                            JsonValue::Number(analysis.monolithic().total() as f64),
+                        ),
+                        (
+                            "modular_change_pct".to_string(),
+                            JsonValue::Number(analysis.modular_change_pct()),
+                        ),
+                    ]),
+                )
+            }
+        }
+        Err(CoreFailure::Panicked(msg)) => {
+            shared.sink.add(Counter::ServePanics, 1);
+            Response::error(500, &format!("analysis panicked: {msg}"))
+        }
+        Err(failure) => Response::error(422, &failure.to_string()),
+    }
+}
+
+/// `POST /experiment`: run one campaign-unit-shaped experiment
+/// (`{"soc": "mini", "seed": 7}` or a generated-cores description),
+/// coalesced on the unit's content address.
+///
+/// Extra field `timeout_ms` tightens (never extends) the server's
+/// per-request deadline cap. Note the coalescing key is the *content*
+/// address: like `jobs`, the timeout is excluded, so concurrent
+/// identical units share one computation under the leader's budget.
+fn handle_experiment(shared: &Shared, body: &[u8]) -> Response {
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::error(400, "request body is not valid JSON");
+    };
+    let timeout_ms = doc.get("timeout_ms").and_then(JsonValue::as_u64);
+    let unit_doc = with_default_name(&doc);
+    let unit = match CampaignUnit::from_json(&unit_doc, 0) {
+        Ok(u) => u,
+        Err(e) => return Response::error(422, &e.to_string()),
+    };
+    let options = experiment_options(shared);
+    let key = unit_key(&unit, &options);
+    coalesce(shared, key.0, || {
+        compute_experiment(shared, &unit, &options, timeout_ms, &key.hex())
+    })
+}
+
+/// Give an anonymous experiment request the default unit name — the
+/// name feeds the content key, so all anonymous requests for the same
+/// unit coalesce.
+fn with_default_name(doc: &JsonValue) -> JsonValue {
+    if let JsonValue::Object(fields) = doc {
+        if !fields.iter().any(|(k, _)| k == "name") {
+            let mut fields = fields.clone();
+            fields.push(("name".to_string(), JsonValue::String("request".to_string())));
+            return JsonValue::Object(fields);
+        }
+    }
+    doc.clone()
+}
+
+fn experiment_options(shared: &Shared) -> ExperimentOptions {
+    let mut options = ExperimentOptions::paper_tables_1_2().with_jobs(shared.config.jobs);
+    if let Some(store) = &shared.config.store {
+        options = options
+            .with_store(Arc::clone(store))
+            .with_store_read(shared.config.store_read);
+    }
+    options
+}
+
+/// Single-flight coalescing: the first requester for `key` computes,
+/// every concurrent duplicate waits on the leader's [`Flight`] and gets
+/// the same response bytes.
+fn coalesce(shared: &Shared, key: [u8; 32], compute: impl FnOnce() -> Response) -> Response {
+    let flight = {
+        let mut inflight = lock_clean(&shared.inflight);
+        match inflight.get(&key) {
+            Some(f) => Some(Arc::clone(f)),
+            None => {
+                inflight.insert(key, Arc::new(Flight::default()));
+                None
+            }
+        }
+    };
+    let Some(flight) = flight else {
+        // Leader: compute, publish, wake every follower. Publication
+        // happens even if compute() returns an error response — the
+        // followers asked the same question and get the same answer.
+        let response = compute();
+        let flight = lock_clean(&shared.inflight)
+            .remove(&key)
+            .unwrap_or_default();
+        *lock_clean(&flight.done) = Some(response.clone());
+        flight.cv.notify_all();
+        return response;
+    };
+    // Follower: wait for the leader, bounded by the server's request
+    // cap plus slack for queue time. A leader that outlives the bound
+    // (wedged I/O) gets this follower a 504 rather than a hang.
+    shared.sink.add(Counter::ServeCoalesceHits, 1);
+    let deadline =
+        Instant::now() + Duration::from_millis(shared.config.max_request_ms.saturating_mul(2));
+    let mut done = lock_clean(&flight.done);
+    loop {
+        if let Some(response) = done.clone() {
+            return response;
+        }
+        if Instant::now() >= deadline {
+            shared.sink.add(Counter::ServeDeadlineTrips, 1);
+            return Response::error(504, "coalesced computation did not finish in time");
+        }
+        let (d, _) = flight
+            .cv
+            .wait_timeout(done, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        done = d;
+    }
+}
+
+fn compute_experiment(
+    shared: &Shared,
+    unit: &CampaignUnit,
+    options: &ExperimentOptions,
+    timeout_ms: Option<u64>,
+    key_hex: &str,
+) -> Response {
+    let cap = shared.config.max_request_ms;
+    let ms = timeout_ms.map_or(cap, |t| t.min(cap));
+    let budget = RunBudget::unlimited().with_timeout(Duration::from_millis(ms));
+    let result = guard_result(|| {
+        let netlist = build_unit_netlist(unit)?;
+        let mut unit_options = options.clone();
+        if unit.skip_monolithic {
+            unit_options.monolithic = false;
+        }
+        run_soc_experiment_guarded(&netlist, &unit_options, &budget)
+    });
+    match result {
+        Ok(completion) => {
+            let exp = &completion.result;
+            let (status, note) = if let Some(e) = &completion.exhausted {
+                shared.sink.add(Counter::ServeDeadlineTrips, 1);
+                ("partial", e.to_string())
+            } else if completion.failed_cores().is_empty() {
+                ("ok", String::new())
+            } else {
+                let cores: Vec<&str> = completion
+                    .failed_cores()
+                    .iter()
+                    .map(|o| o.core.as_str())
+                    .collect();
+                ("degraded", format!("failed cores: {}", cores.join(", ")))
+            };
+            Response::json(
+                200,
+                JsonValue::Object(vec![
+                    ("status".to_string(), JsonValue::String(status.to_string())),
+                    ("unit".to_string(), JsonValue::String(unit.name.clone())),
+                    ("key".to_string(), JsonValue::String(key_hex.to_string())),
+                    ("t_mono".to_string(), JsonValue::Number(exp.t_mono as f64)),
+                    (
+                        "tdv_modular".to_string(),
+                        JsonValue::Number(exp.analysis.modular().total() as f64),
+                    ),
+                    (
+                        "tdv_monolithic".to_string(),
+                        JsonValue::Number(exp.analysis.monolithic().total() as f64),
+                    ),
+                    (
+                        "reduction_ratio".to_string(),
+                        JsonValue::Number(exp.analysis.reduction_ratio()),
+                    ),
+                    ("note".to_string(), JsonValue::String(note)),
+                ]),
+            )
+        }
+        Err(CoreFailure::Panicked(msg)) => {
+            shared.sink.add(Counter::ServePanics, 1);
+            Response::error(500, &format!("experiment panicked: {msg}"))
+        }
+        Err(failure) => {
+            // A budget so tight the run errored out before producing
+            // anything analyzable is a timeout, not a client error.
+            if budget.check().is_some() {
+                shared.sink.add(Counter::ServeDeadlineTrips, 1);
+                Response::error(504, &format!("request deadline exhausted: {failure}"))
+            } else {
+                Response::error(422, &failure.to_string())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP client — shared by `modsoc loadgen`, the CI serve gate
+// and the chaos tests, so the test stack exercises the same parser
+// family as the server.
+// ---------------------------------------------------------------------
+
+/// A response as seen by [`http_request`].
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one HTTP/1.1 request (`Connection: close`) and read the full
+/// response.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a malformed status line is
+/// reported as [`io::ErrorKind::InvalidData`].
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let sock_addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    // Half-close: tells the server the body is finished (its drain of a
+    // rejected oversized body hits EOF instead of its read timeout).
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_http_response(&raw)
+}
+
+fn parse_http_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    let headers = lines
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(
+        config: ServeConfig,
+    ) -> (
+        String,
+        ServerHandle,
+        std::thread::JoinHandle<MetricsSnapshot>,
+    ) {
+        let server = Server::bind(config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle, join)
+    }
+
+    fn mini_body(seed: u64) -> String {
+        format!("{{\"soc\": \"mini\", \"seed\": {seed}, \"timeout_ms\": 10000}}")
+    }
+
+    #[test]
+    fn healthz_metrics_and_unknown_paths() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let t = Duration::from_secs(5);
+        let health = http_request(&addr, "GET", "/healthz", None, t).unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_text().contains("\"ok\""));
+        let metrics = http_request(&addr, "GET", "/metrics", None, t).unwrap();
+        assert_eq!(metrics.status, 200);
+        let doc = json::parse(&metrics.body_text()).unwrap();
+        assert!(doc.get("queue_capacity").is_some());
+        assert!(doc
+            .get("counters")
+            .and_then(|c| c.get("serve_requests"))
+            .is_some());
+        let missing = http_request(&addr, "GET", "/nope", None, t).unwrap();
+        assert_eq!(missing.status, 404);
+        let wrong = http_request(&addr, "GET", "/analyze", None, t).unwrap();
+        assert_eq!(wrong.status, 405);
+        handle.shutdown();
+        let snap = join.join().unwrap();
+        assert!(snap.counter(Counter::ServeRequests) >= 4);
+    }
+
+    #[test]
+    fn analyze_text_matches_cli_rendering() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let soc_text = "soc demo\ncore a i=4 o=3 b=0 s=10 t=50\ncore b i=2 o=2 b=0 s=8 t=30\n";
+        let body = JsonValue::Object(vec![
+            ("soc".to_string(), JsonValue::String(soc_text.to_string())),
+            ("format".to_string(), JsonValue::String("text".to_string())),
+        ])
+        .to_compact();
+        let resp = http_request(
+            &addr,
+            "POST",
+            "/analyze",
+            Some(&body),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let soc = parse_soc(soc_text).unwrap();
+        let analysis = SocTdvAnalysis::compute(&soc, &TdvOptions::tables_3_4()).unwrap();
+        assert_eq!(resp.body_text(), render_analyze_report(&soc, &analysis));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_typed_errors() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            max_body_bytes: 256,
+            ..ServeConfig::default()
+        });
+        let t = Duration::from_secs(5);
+        let bad = http_request(&addr, "POST", "/analyze", Some("{not json"), t).unwrap();
+        assert_eq!(bad.status, 400);
+        let huge = "x".repeat(1024);
+        let oversized = http_request(&addr, "POST", "/analyze", Some(&huge), t).unwrap();
+        assert_eq!(oversized.status, 413);
+        let unprocessable =
+            http_request(&addr, "POST", "/experiment", Some("{\"soc\": \"nope\"}"), t).unwrap();
+        assert_eq!(unprocessable.status, 422);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn experiment_runs_and_coalesces_identical_requests() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 4,
+            jobs: 1,
+            ..ServeConfig::default()
+        });
+        let body = mini_body(7);
+        let mut bodies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let body = body.clone();
+                    s.spawn(move || {
+                        http_request(
+                            &addr,
+                            "POST",
+                            "/experiment",
+                            Some(&body),
+                            Duration::from_secs(30),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let resp = h.join().unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.body_text());
+                    resp.body_text()
+                })
+                .collect()
+        });
+        bodies.dedup();
+        assert_eq!(
+            bodies.len(),
+            1,
+            "identical requests must serve identical bytes"
+        );
+        assert!(bodies[0].contains("\"status\":\"ok\""), "{}", bodies[0]);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_server() {
+        let (addr, _handle, join) = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let resp = http_request(&addr, "POST", "/shutdown", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("draining"));
+        let snap = join.join().unwrap();
+        assert_eq!(snap.counter(Counter::ServePanics), 0);
+    }
+
+    #[test]
+    fn request_parser_rejects_garbage() {
+        let raw = parse_http_response(b"HTTP/1.1 200 OK\r\ncontent-type: a\r\n\r\nhi").unwrap();
+        assert_eq!(raw.status, 200);
+        assert_eq!(raw.header("Content-Type"), Some("a"));
+        assert_eq!(raw.body_text(), "hi");
+        assert!(parse_http_response(b"garbage").is_err());
+    }
+}

@@ -80,11 +80,17 @@ pub enum Counter {
     StoreMisses,
     StoreWrites,
     StoreEvictions,
+    StoreRetries,
+    ServeRequests,
+    ServeShed,
+    ServeCoalesceHits,
+    ServePanics,
+    ServeDeadlineTrips,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 34] = [
         Counter::FaultsUniverse,
         Counter::FaultsCollapsed,
         Counter::RandomPatternsKept,
@@ -113,6 +119,12 @@ impl Counter {
         Counter::StoreMisses,
         Counter::StoreWrites,
         Counter::StoreEvictions,
+        Counter::StoreRetries,
+        Counter::ServeRequests,
+        Counter::ServeShed,
+        Counter::ServeCoalesceHits,
+        Counter::ServePanics,
+        Counter::ServeDeadlineTrips,
     ];
 
     /// Position in [`Counter::ALL`] (the sink's array index).
@@ -161,6 +173,17 @@ impl Counter {
             Counter::StoreMisses => "store_misses",
             Counter::StoreWrites => "store_writes",
             Counter::StoreEvictions => "store_evictions",
+            // Retries depend on transient filesystem weather, so they
+            // ride the same `"store_` exemption as the other store rows.
+            Counter::StoreRetries => "store_retries",
+            // The serve_* counters only move inside `modsoc serve`; CLI
+            // runs report them as constant zeros, which keeps the
+            // cross-run determinism diffs trivially green.
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeCoalesceHits => "serve_coalesce_hits",
+            Counter::ServePanics => "serve_panics",
+            Counter::ServeDeadlineTrips => "serve_deadline_trips",
         }
     }
 }
@@ -188,11 +211,12 @@ pub enum Phase {
     MonolithicAtpg,
     TdvAnalysis,
     Parse,
+    ServeRequest,
 }
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 17] = [
         Phase::IndexBuild,
         Phase::FaultEnumerate,
         Phase::FaultCollapse,
@@ -209,6 +233,7 @@ impl Phase {
         Phase::MonolithicAtpg,
         Phase::TdvAnalysis,
         Phase::Parse,
+        Phase::ServeRequest,
     ];
 
     /// Position in [`Phase::ALL`] (the sink's array index).
@@ -240,6 +265,7 @@ impl Phase {
             Phase::MonolithicAtpg => "monolithic_atpg",
             Phase::TdvAnalysis => "tdv_analysis",
             Phase::Parse => "parse",
+            Phase::ServeRequest => "serve_request",
         }
     }
 }

@@ -16,6 +16,7 @@
 //! and a damaged journal is evicted (logged, counted) and treated as
 //! empty — the campaign recomputes instead of crashing.
 
+use crate::lock::{LockOptions, StoreLock};
 use crate::{atomic_write, payload_check, ResultStore, StoreError, STORE_SCHEMA};
 use modsoc_metrics::json::{self, JsonValue};
 use modsoc_metrics::MetricsSink;
@@ -34,10 +35,13 @@ pub struct JournalEntry {
 }
 
 /// An on-disk list of completed units, rewritten atomically on every
-/// [`Journal::record`].
+/// [`Journal::record`] under a cross-process advisory lock: two
+/// processes journaling the same campaign merge their completions
+/// instead of losing them to a read-modify-write race.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    lock_path: PathBuf,
     entries: Vec<JournalEntry>,
 }
 
@@ -108,18 +112,45 @@ impl Journal {
         self.entries.iter().find(|e| e.unit == unit && e.key == key)
     }
 
-    /// Record a completion and persist the journal atomically. An
-    /// existing entry with the same unit name is replaced (re-run after
-    /// a spec change).
+    /// Record a completion and persist the journal atomically and
+    /// durably (the rewrite fsyncs both the file and its parent
+    /// directory). An existing entry with the same unit name is
+    /// replaced (re-run after a spec change).
+    ///
+    /// The rewrite runs under the journal's cross-process advisory
+    /// lock and first merges completions another process journaled
+    /// since this handle loaded the file, so two campaign runners
+    /// sharing one journal each keep the other's progress. Write
+    /// retries are reported through `sink` as `store_retries`.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] when the journal file cannot be
-    /// rewritten; the in-memory entry is kept either way so the current
-    /// process still sees the completion.
-    pub fn record(&mut self, entry: JournalEntry) -> Result<(), StoreError> {
+    /// rewritten and [`StoreError::Contended`] when another process
+    /// holds the journal lock past the deadline; the in-memory entry is
+    /// kept either way so the current process still sees the
+    /// completion.
+    pub fn record(
+        &mut self,
+        entry: JournalEntry,
+        sink: &dyn MetricsSink,
+    ) -> Result<(), StoreError> {
         self.entries.retain(|e| e.unit != entry.unit);
         self.entries.push(entry);
+        let _guard = StoreLock::acquire(&self.lock_path, LockOptions::default())?;
+        // Adopt completions a concurrent process journaled since we
+        // loaded; units we already know (by name) keep our version. A
+        // corrupt on-disk journal is simply superseded by the rewrite —
+        // open_journal owns corruption accounting.
+        if let Ok(text) = fs::read_to_string(&self.path) {
+            if let Some(disk) = json::parse(&text).ok().as_ref().and_then(entries_from_json) {
+                for foreign in disk {
+                    if !self.entries.iter().any(|e| e.unit == foreign.unit) {
+                        self.entries.push(foreign);
+                    }
+                }
+            }
+        }
         let payload = entries_to_json(&self.entries);
         let doc = JsonValue::Object(vec![
             (
@@ -132,7 +163,11 @@ impl Journal {
             ),
             ("entries".to_string(), payload),
         ]);
-        atomic_write(&self.path, &doc.to_compact())
+        let retries = atomic_write(&self.path, &doc.to_compact())?;
+        if retries > 0 {
+            sink.add(modsoc_metrics::Counter::StoreRetries, retries);
+        }
+        Ok(())
     }
 }
 
@@ -144,9 +179,11 @@ impl ResultStore {
     /// completion log.
     #[must_use]
     pub fn open_journal(&self, name: &str, sink: &dyn MetricsSink) -> Journal {
-        let path = self.journals_dir().join(format!("{}.json", sanitize(name)));
+        let stem = sanitize(name);
+        let path = self.journals_dir().join(format!("{stem}.json"));
         let mut journal = Journal {
             path: path.clone(),
+            lock_path: self.locks_dir().join(format!("journal-{stem}.lock")),
             entries: Vec::new(),
         };
         // An absent journal is a fresh campaign; a present-but-unreadable
@@ -205,8 +242,8 @@ mod tests {
     fn record_and_reload() {
         let (dir, store) = temp_store("reload");
         let mut j = store.open_journal("campaign", &NullSink);
-        j.record(entry("u1", "k1", 10)).unwrap();
-        j.record(entry("u2", "k2", 20)).unwrap();
+        j.record(entry("u1", "k1", 10), &NullSink).unwrap();
+        j.record(entry("u2", "k2", 20), &NullSink).unwrap();
         let j2 = store.open_journal("campaign", &NullSink);
         assert_eq!(j2.entries().len(), 2);
         assert!(j2.find("u1", "k1").is_some());
@@ -219,8 +256,8 @@ mod tests {
     fn rerecording_a_unit_replaces_it() {
         let (dir, store) = temp_store("replace");
         let mut j = store.open_journal("c", &NullSink);
-        j.record(entry("u1", "old", 1)).unwrap();
-        j.record(entry("u1", "new", 2)).unwrap();
+        j.record(entry("u1", "old", 1), &NullSink).unwrap();
+        j.record(entry("u1", "new", 2), &NullSink).unwrap();
         assert_eq!(j.entries().len(), 1);
         assert!(j.find("u1", "old").is_none());
         assert!(j.find("u1", "new").is_some());
@@ -231,7 +268,7 @@ mod tests {
     fn corrupt_journal_is_evicted_and_empty() {
         let (dir, store) = temp_store("corrupt");
         let mut j = store.open_journal("c", &NullSink);
-        j.record(entry("u1", "k1", 10)).unwrap();
+        j.record(entry("u1", "k1", 10), &NullSink).unwrap();
         // Truncate the file mid-document.
         let path = dir.join("journals").join("c.json");
         let text = fs::read_to_string(&path).unwrap();
@@ -247,7 +284,7 @@ mod tests {
     fn tampered_entry_fails_the_checksum() {
         let (dir, store) = temp_store("tamper");
         let mut j = store.open_journal("c", &NullSink);
-        j.record(entry("u1", "k1", 10)).unwrap();
+        j.record(entry("u1", "k1", 10), &NullSink).unwrap();
         let path = dir.join("journals").join("c.json");
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, text.replace("\"k1\"", "\"kX\"")).unwrap();
@@ -257,10 +294,44 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_handles_merge_instead_of_losing_entries() {
+        // Two handles of the same journal — the shape of two campaign
+        // processes sharing a store. Each records its own unit; the
+        // read-merge-rewrite under the lock must keep both.
+        let (dir, store) = temp_store("merge");
+        let mut a = store.open_journal("shared", &NullSink);
+        let mut b = store.open_journal("shared", &NullSink);
+        a.record(entry("unit-a", "ka", 1), &NullSink).unwrap();
+        b.record(entry("unit-b", "kb", 2), &NullSink).unwrap();
+        let reloaded = store.open_journal("shared", &NullSink);
+        assert!(reloaded.find("unit-a", "ka").is_some(), "a's entry lost");
+        assert!(reloaded.find("unit-b", "kb").is_some(), "b's entry lost");
+        // b's handle also adopted a's entry during its merge.
+        assert!(b.find("unit-a", "ka").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_does_not_resurrect_a_replaced_unit() {
+        let (dir, store) = temp_store("merge_replace");
+        let mut a = store.open_journal("shared", &NullSink);
+        a.record(entry("u1", "old", 1), &NullSink).unwrap();
+        // A second handle (loaded after the first write) re-records u1
+        // under a new key; the on-disk old entry must not win the merge.
+        let mut b = store.open_journal("shared", &NullSink);
+        b.record(entry("u1", "new", 2), &NullSink).unwrap();
+        let reloaded = store.open_journal("shared", &NullSink);
+        assert_eq!(reloaded.entries().len(), 1);
+        assert!(reloaded.find("u1", "new").is_some());
+        assert!(reloaded.find("u1", "old").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn journal_names_are_sanitized() {
         let (dir, store) = temp_store("sanitize");
         let mut j = store.open_journal("weird name/../x", &NullSink);
-        j.record(entry("u", "k", 1)).unwrap();
+        j.record(entry("u", "k", 1), &NullSink).unwrap();
         // Everything must stay inside journals/.
         let files: Vec<_> = fs::read_dir(dir.join("journals"))
             .unwrap()

@@ -19,23 +19,29 @@
 //! * [`sha256`] — the hand-rolled FIPS 180-4 digest both of the above
 //!   are built on (the workspace vendors no crypto crate).
 //!
-//! The store is deliberately *dumb*: no locking, no size bounds, no
-//! remote backends (see ROADMAP open items). Concurrent writers are safe
-//! against torn entries because of the atomic rename — last writer wins,
-//! and both writers produce the same bytes for the same key anyway.
+//! The store keeps no size bounds and no remote backends (see ROADMAP
+//! open items). Concurrent writers are safe at three levels: the atomic
+//! rename makes individual entries torn-proof, entry and journal writes
+//! additionally take a cross-process advisory [`lock::StoreLock`]
+//! (lock-file + jittered backoff, see [`lock`]) so a `modsoc serve`
+//! daemon and a sidecar campaign can share one store, and transient
+//! `create`/`rename` failures are retried with bounded backoff rather
+//! than surfacing as spurious errors.
 //!
 //! Cache traffic is observable through [`modsoc_metrics`]: every
 //! [`ResultStore`] operation bumps a process-local counter *and* reports
 //! through a [`MetricsSink`] (`store_hits`, `store_misses`,
-//! `store_writes`, `store_evictions`).
+//! `store_writes`, `store_evictions`, `store_retries`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod journal;
+pub mod lock;
 pub mod sha256;
 
 pub use journal::{Journal, JournalEntry};
+pub use lock::{LockOptions, StoreLock};
 
 use modsoc_metrics::json::{self, JsonValue};
 use modsoc_metrics::{Counter, MetricsSink};
@@ -92,6 +98,12 @@ pub enum StoreError {
         /// The underlying error.
         source: io::Error,
     },
+    /// An advisory lock stayed held by a live owner past the acquire
+    /// deadline.
+    Contended {
+        /// The lock file that could not be acquired.
+        path: PathBuf,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -99,6 +111,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io { path, source } => {
                 write!(f, "store I/O error at {}: {source}", path.display())
+            }
+            StoreError::Contended { path } => {
+                write!(f, "store lock at {} is contended", path.display())
             }
         }
     }
@@ -108,37 +123,94 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io { source, .. } => Some(source),
+            StoreError::Contended { .. } => None,
         }
     }
 }
 
-fn io_err(path: &Path, source: io::Error) -> StoreError {
+pub(crate) fn io_err(path: &Path, source: io::Error) -> StoreError {
     StoreError::Io {
         path: path.to_path_buf(),
         source,
     }
 }
 
-/// Write `contents` to `path` atomically: write a sibling tmp file in
-/// the same directory, flush, then rename over the destination. Readers
-/// either see the old entry or the complete new one, never a torn write.
-pub(crate) fn atomic_write(path: &Path, contents: &str) -> Result<(), StoreError> {
+/// Attempts (initial try + retries) before a write failure is final.
+const WRITE_ATTEMPTS: u32 = 4;
+
+/// Write `contents` to `path` atomically and durably: write a sibling
+/// tmp file in the same directory, flush it, rename over the
+/// destination, then fsync the parent directory so the rename itself
+/// survives a power cut. Readers either see the old entry or the
+/// complete new one, never a torn write.
+///
+/// Transient `create`/`rename` failures (e.g. an overloaded filesystem
+/// or an antivirus-style scanner briefly pinning the tmp file) are
+/// retried with jittered backoff up to [`WRITE_ATTEMPTS`]; the returned
+/// count is how many retries were needed (0 on a clean first attempt),
+/// reported upstream as `store_retries`.
+pub(crate) fn atomic_write(path: &Path, contents: &str) -> Result<u64, StoreError> {
+    atomic_write_with_faults(path, contents, &mut |_| None)
+}
+
+/// [`atomic_write`] with an injectable fault seam: `inject(attempt)`
+/// may return an error to substitute for that attempt's rename, letting
+/// tests exercise the retry path without a misbehaving filesystem.
+pub(crate) fn atomic_write_with_faults(
+    path: &Path,
+    contents: &str,
+    inject: &mut dyn FnMut(u32) -> Option<io::Error>,
+) -> Result<u64, StoreError> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let stem = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "entry".to_string());
     let tmp = dir.join(format!(".tmp-{}-{stem}", std::process::id()));
-    {
-        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        f.write_all(contents.as_bytes())
-            .map_err(|e| io_err(&tmp, e))?;
-        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    let mut rng = 0u64;
+    let mut last_err = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(lock::backoff_delay(attempt - 1, &mut rng));
+        }
+        match write_once(&tmp, path, contents, inject(attempt)) {
+            Ok(()) => {
+                // The rename is atomic but only durable once the parent
+                // directory's own entry list reaches the disk; without
+                // this fsync a power loss can resurrect the replaced
+                // file (or un-create this one). Best-effort: not every
+                // platform lets a directory be opened for syncing.
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+                return Ok(u64::from(attempt));
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                last_err = Some(e);
+            }
+        }
     }
-    fs::rename(&tmp, path).map_err(|e| {
-        let _ = fs::remove_file(&tmp);
-        io_err(path, e)
-    })
+    Err(io_err(
+        path,
+        last_err.unwrap_or_else(|| io::Error::other("write failed")),
+    ))
+}
+
+fn write_once(
+    tmp: &Path,
+    path: &Path,
+    contents: &str,
+    injected: Option<io::Error>,
+) -> Result<(), io::Error> {
+    let mut f = fs::File::create(tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    if let Some(e) = injected {
+        return Err(e);
+    }
+    fs::rename(tmp, path)
 }
 
 /// Checksum guarding a JSON payload: the SHA-256 hex digest of its
@@ -157,6 +229,7 @@ pub fn payload_check(payload: &JsonValue) -> String {
 /// <root>/manifest.json            {"format":"modsoc-store","schema":1}
 /// <root>/objects/<key-hex>.json   {"schema":1,"key":…,"check":…,"payload":…}
 /// <root>/journals/<name>.json     campaign completion journals
+/// <root>/locks/<name>.lock        advisory locks (held = file exists)
 /// ```
 #[derive(Debug)]
 pub struct ResultStore {
@@ -165,6 +238,7 @@ pub struct ResultStore {
     misses: AtomicU64,
     writes: AtomicU64,
     evictions: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl ResultStore {
@@ -187,9 +261,11 @@ impl ResultStore {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         };
         fs::create_dir_all(store.objects_dir()).map_err(|e| io_err(&store.objects_dir(), e))?;
         fs::create_dir_all(store.journals_dir()).map_err(|e| io_err(&store.journals_dir(), e))?;
+        fs::create_dir_all(store.locks_dir()).map_err(|e| io_err(&store.locks_dir(), e))?;
         let manifest = store.root.join("manifest.json");
         if !store.manifest_is_current(&manifest) {
             if manifest.exists() {
@@ -225,8 +301,26 @@ impl ResultStore {
         self.root.join("journals")
     }
 
+    pub(crate) fn locks_dir(&self) -> PathBuf {
+        self.root.join("locks")
+    }
+
     fn entry_path(&self, key: &StoreKey) -> PathBuf {
         self.objects_dir().join(format!("{}.json", key.hex()))
+    }
+
+    /// Take the cross-process advisory lock guarding `key`'s entry —
+    /// the same lock [`ResultStore::put`] takes internally. The lock is
+    /// not re-entrant: do not call `put` for `key` while holding it
+    /// (release first; the write itself re-serializes).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Contended`] when a live holder outlasts the
+    /// deadline; [`StoreError::Io`] when the lock file cannot be
+    /// created.
+    pub fn lock_entry(&self, key: &StoreKey, opts: LockOptions) -> Result<StoreLock, StoreError> {
+        StoreLock::acquire(&self.locks_dir().join(format!("{}.lock", key.hex())), opts)
     }
 
     fn manifest_is_current(&self, manifest: &Path) -> bool {
@@ -334,13 +428,16 @@ impl ResultStore {
     }
 
     /// Store `payload` under `key` (atomically, replacing any previous
-    /// entry for the key).
+    /// entry for the key). The write holds the key's cross-process
+    /// advisory lock, so a daemon and a sidecar campaign sharing this
+    /// store never interleave writes to one entry.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] when the entry cannot be written;
-    /// callers treat this as non-fatal (the result was computed, only
-    /// the cache write failed).
+    /// Returns [`StoreError::Io`] when the entry cannot be written and
+    /// [`StoreError::Contended`] when another live process holds the
+    /// entry lock past the deadline; callers treat both as non-fatal
+    /// (the result was computed, only the cache write failed).
     pub fn put(
         &self,
         key: &StoreKey,
@@ -356,10 +453,55 @@ impl ResultStore {
             ),
             ("payload".to_string(), payload.clone()),
         ]);
-        atomic_write(&self.entry_path(key), &doc.to_compact())?;
+        let _guard = self.lock_entry(key, LockOptions::default())?;
+        let retries = atomic_write(&self.entry_path(key), &doc.to_compact())?;
+        self.note_retries(retries, sink);
         self.writes.fetch_add(1, Ordering::Relaxed);
         sink.add(Counter::StoreWrites, 1);
         Ok(())
+    }
+
+    /// Corruption sweep: validate every object in the store — parseable
+    /// JSON, current schema, key matching the file stem, checksum
+    /// matching the payload — and report `(valid, corrupt)` counts
+    /// without evicting anything. A store that survived a crash, kill
+    /// or drain must sweep with zero corrupt entries (atomic renames
+    /// mean an entry either fully exists or does not); the serve/chaos
+    /// suites and the CI serve gate assert exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] only when the objects directory
+    /// itself cannot be listed; unreadable *entries* count as corrupt.
+    pub fn verify_all(&self) -> Result<(usize, usize), StoreError> {
+        let dir = self.objects_dir();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        let (mut valid, mut corrupt) = (0usize, 0usize);
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let ok = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| json::parse(&text).ok())
+                .is_some_and(|doc| {
+                    doc.get("schema").and_then(JsonValue::as_u64) == Some(STORE_SCHEMA)
+                        && doc.get("key").and_then(JsonValue::as_str) == Some(stem.as_str())
+                        && matches!(
+                            (doc.get("payload"), doc.get("check").and_then(JsonValue::as_str)),
+                            (Some(p), Some(c)) if c == payload_check(p)
+                        )
+                });
+            if ok {
+                valid += 1;
+            } else {
+                corrupt += 1;
+            }
+        }
+        Ok((valid, corrupt))
     }
 
     /// Cache hits since this handle was opened.
@@ -385,6 +527,20 @@ impl ResultStore {
     #[must_use]
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Transient write failures retried away since this handle was
+    /// opened (each retry that eventually succeeded counts once).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_retries(&self, retries: u64, sink: &dyn MetricsSink) {
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+            sink.add(Counter::StoreRetries, retries);
+        }
     }
 
     /// One-line human summary of cache traffic, e.g.
@@ -530,6 +686,84 @@ mod tests {
         let store = ResultStore::open(&root).unwrap();
         assert_eq!(store.get(&key, &NullSink), Some(sample_payload()));
         assert_eq!(store.evictions(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn transient_write_failures_are_retried() {
+        let root = temp_root("retry");
+        fs::create_dir_all(&root).unwrap();
+        let path = root.join("entry.json");
+        let mut injected = 0u32;
+        let retries = atomic_write_with_faults(&path, "{\"ok\":true}", &mut |attempt| {
+            if attempt < 2 {
+                injected += 1;
+                Some(io::Error::other("transient rename failure"))
+            } else {
+                None
+            }
+        })
+        .unwrap();
+        assert_eq!(retries, 2);
+        assert_eq!(injected, 2);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn persistent_write_failure_is_final_and_leaves_no_tmp() {
+        let root = temp_root("retry_exhaust");
+        fs::create_dir_all(&root).unwrap();
+        let path = root.join("entry.json");
+        let err = atomic_write_with_faults(&path, "x", &mut |_| {
+            Some(io::Error::other("permanent failure"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        assert!(!path.exists());
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files leaked: {leftovers:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn put_counts_retries_through_the_sink() {
+        let root = temp_root("retry_sink");
+        let store = ResultStore::open(&root).unwrap();
+        let sink = RecordingSink::new();
+        store
+            .put(&key_of(b"clean"), &sample_payload(), &sink)
+            .unwrap();
+        assert_eq!(store.retries(), 0, "clean writes retry nothing");
+        assert_eq!(sink.snapshot().counter(Counter::StoreRetries), 0);
+        store.note_retries(3, &sink);
+        assert_eq!(store.retries(), 3);
+        assert_eq!(sink.snapshot().counter(Counter::StoreRetries), 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_puts_to_one_key_serialize_cleanly() {
+        let root = temp_root("put_race");
+        let store = ResultStore::open(&root).unwrap();
+        let key = key_of(b"contended");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        store.put(&key, &sample_payload(), &NullSink).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.get(&key, &NullSink), Some(sample_payload()));
+        assert_eq!(store.evictions(), 0);
+        // The lock must be released afterwards: a fresh put succeeds fast.
+        store.put(&key, &sample_payload(), &NullSink).unwrap();
         let _ = fs::remove_dir_all(&root);
     }
 

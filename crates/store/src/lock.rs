@@ -1,0 +1,243 @@
+//! Cross-process advisory file locking for store writers.
+//!
+//! The store's entry writes are already torn-proof (tmp file + atomic
+//! rename), but two *cooperating processes* — a `modsoc serve` daemon
+//! and a sidecar `modsoc campaign` sharing one store — also need
+//! read-modify-write sections (journal rewrites) and "one writer at a
+//! time per entry" discipline. [`StoreLock`] provides that in the house
+//! style: a lock *file* created with `create_new` (`O_EXCL` semantics,
+//! atomic on every platform std supports), retried under contention with
+//! jittered exponential backoff, and broken when demonstrably stale.
+//!
+//! The lock is advisory: nothing stops a process that does not take it.
+//! Every writer inside this workspace takes it, which is the contract
+//! that matters.
+//!
+//! # Staleness
+//!
+//! A holder that crashes leaves its lock file behind. Waiters treat a
+//! lock file whose mtime is older than [`LockOptions::stale_after`] as
+//! abandoned and remove it. The stat-then-remove pair is racy in
+//! principle (a fresh lock could land between the two calls), but the
+//! window is microseconds against a staleness threshold of tens of
+//! seconds, and the worst case — two writers both proceeding — degrades
+//! to the store's existing last-writer-wins atomic-rename behavior, not
+//! to corruption.
+
+use crate::{io_err, StoreError};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Tuning for [`StoreLock::acquire`].
+#[derive(Debug, Clone, Copy)]
+pub struct LockOptions {
+    /// How long a waiter keeps retrying before giving up with
+    /// [`StoreError::Contended`].
+    pub deadline: Duration,
+    /// Age past which a held lock is presumed abandoned (holder crashed)
+    /// and broken by a waiter.
+    pub stale_after: Duration,
+}
+
+impl Default for LockOptions {
+    fn default() -> LockOptions {
+        LockOptions {
+            deadline: Duration::from_secs(10),
+            stale_after: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A held advisory lock; released (lock file removed) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// Advance an xorshift64 state and return the next value. Seeded from
+/// wall-clock nanos and the pid — the jitter only needs to decorrelate
+/// concurrent waiters, not be reproducible.
+pub(crate) fn next_jitter(state: &mut u64) -> u64 {
+    if *state == 0 {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::from(d.subsec_nanos()))
+            .unwrap_or(0xDEAD_BEEF);
+        *state = nanos
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(std::process::id()) | 1);
+    }
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Exponential backoff with jitter: attempt 0 sleeps ~0.5–1 ms, each
+/// further attempt doubles the base up to ~16 ms. The jitter spreads
+/// waiters so they do not stampede the lock file in phase.
+pub(crate) fn backoff_delay(attempt: u32, rng: &mut u64) -> Duration {
+    let base_us = 500u64 << attempt.min(5);
+    Duration::from_micros(base_us + next_jitter(rng) % base_us)
+}
+
+impl StoreLock {
+    /// Acquire the lock at `path`, retrying with jittered backoff while
+    /// a live holder exists and breaking the lock once it looks stale.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Contended`] when a live holder outlasts
+    /// `opts.deadline`; [`StoreError::Io`] when the lock file cannot be
+    /// created for any reason other than contention.
+    pub fn acquire(path: &Path, opts: LockOptions) -> Result<StoreLock, StoreError> {
+        let start = Instant::now();
+        let mut rng = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(path)
+            {
+                Ok(mut f) => {
+                    // Best-effort holder tag for humans debugging a
+                    // stuck lock; staleness is judged by mtime, not by
+                    // parsing this.
+                    use std::io::Write as _;
+                    let _ = writeln!(f, "pid {}", std::process::id());
+                    return Ok(StoreLock {
+                        path: path.to_path_buf(),
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(path, opts.stale_after) {
+                        let _ = fs::remove_file(path);
+                        continue; // retry the create immediately
+                    }
+                    if start.elapsed() >= opts.deadline {
+                        return Err(StoreError::Contended {
+                            path: path.to_path_buf(),
+                        });
+                    }
+                    std::thread::sleep(backoff_delay(attempt, &mut rng));
+                    attempt = attempt.saturating_add(1);
+                }
+                Err(e) => return Err(io_err(path, e)),
+            }
+        }
+    }
+
+    /// Path of the lock file (for diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn lock_is_stale(path: &Path, stale_after: Duration) -> bool {
+    let Ok(meta) = fs::metadata(path) else {
+        // Vanished between create_new failing and the stat: the holder
+        // released; not stale, just retry.
+        return false;
+    };
+    match meta.modified().map(|m| m.elapsed()) {
+        Ok(Ok(age)) => age >= stale_after,
+        _ => false,
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_lock(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("modsoc_lock_test_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("x.lock")
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let path = temp_lock("rr");
+        let l = StoreLock::acquire(&path, LockOptions::default()).unwrap();
+        assert!(path.exists());
+        drop(l);
+        assert!(!path.exists(), "drop must release");
+        let _l = StoreLock::acquire(&path, LockOptions::default()).unwrap();
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn contended_lock_times_out() {
+        let path = temp_lock("timeout");
+        let _held = StoreLock::acquire(&path, LockOptions::default()).unwrap();
+        let opts = LockOptions {
+            deadline: Duration::from_millis(50),
+            stale_after: Duration::from_secs(600),
+        };
+        match StoreLock::acquire(&path, opts) {
+            Err(StoreError::Contended { path: p }) => assert_eq!(p, path),
+            other => panic!("expected Contended, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let path = temp_lock("stale");
+        // A lock file nobody holds, old enough to be presumed abandoned
+        // under a zero staleness threshold.
+        fs::write(&path, "pid 0\n").unwrap();
+        let opts = LockOptions {
+            deadline: Duration::from_secs(5),
+            stale_after: Duration::ZERO,
+        };
+        let l = StoreLock::acquire(&path, opts).unwrap();
+        drop(l);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn threads_serialize_through_the_lock() {
+        let path = temp_lock("threads");
+        let in_section = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let _l = StoreLock::acquire(&path, LockOptions::default()).unwrap();
+                        let now = in_section.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        in_section.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutual exclusion");
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let mut rng = 0u64;
+        for attempt in 0..10 {
+            let d = backoff_delay(attempt, &mut rng);
+            let base = Duration::from_micros(500u64 << attempt.min(5));
+            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
+            assert!(d < base * 2, "attempt {attempt}: {d:?} >= 2x base");
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //!                                    [--metrics FILE] [--store DIR] [--no-store-read]
 //! modsoc campaign <spec.json> --store DIR [--jobs N] [--keep-going] [--no-store-read]
 //!                             [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+//! modsoc serve [--addr HOST:PORT] [--workers N] [--queue N] [--store DIR] [...]
+//! modsoc loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--flood N] [...]
 //! modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
 //!                          [--patterns-out FILE] [--verilog-out FILE]
 //! modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -44,9 +46,11 @@ use modsoc::analysis::metrics::{
     analysis_run_metrics, run_soc_experiment_metered, Phase, PhaseTimer, RecordingSink, RunMetrics,
 };
 use modsoc::analysis::report::{
-    fmt_u64, render_core_table, render_metrics_table, render_outcome_table, render_survey,
+    fmt_u64, render_analyze_report, render_core_table, render_metrics_table, render_outcome_table,
+    render_survey,
 };
 use modsoc::analysis::runctl::analyze_soc_guarded_jobs_metered;
+use modsoc::analysis::serve::{http_request, HttpResponse, ServeConfig, Server};
 use modsoc::analysis::tdv::core_tdv_checked;
 use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
@@ -90,6 +94,12 @@ const USAGE: &str = "usage:
                                      [--metrics FILE] [--store DIR] [--no-store-read]
   modsoc campaign <spec.json> --store DIR [--jobs N] [--keep-going] [--no-store-read]
                               [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
+  modsoc serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+               [--max-body-bytes N] [--request-timeout-ms N] [--read-timeout-ms N]
+               [--write-timeout-ms N] [--retry-after-secs N] [--jobs N]
+               [--store DIR] [--no-store-read]
+  modsoc loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--seed S]
+                 [--flood N] [--analyze-file FILE.soc] [--shutdown]
   modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
                            [--patterns-out FILE] [--verilog-out FILE]
   modsoc generate --inputs N --outputs N --scan N [--seed S] [--bench-out FILE] [--verilog-out FILE]
@@ -116,6 +126,8 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("cones") => cmd_cones(&args[1..]),
@@ -329,12 +341,9 @@ fn cmd_analyze(args: &[String]) -> Result<RunStatus, String> {
             None => SocTdvAnalysis::compute(&soc, &options).map_err(|e| e.to_string())?,
         }
     };
-    println!("{soc}");
-    println!("{}", render_core_table(&soc, &analysis));
-    println!(
-        "modular change vs optimistic monolithic: {:+.1}%",
-        analysis.modular_change_pct()
-    );
+    // One shared renderer with `modsoc serve`'s text mode, so the CI
+    // serve gate can byte-diff a served report against this stdout.
+    print!("{}", render_analyze_report(&soc, &analysis));
     if let Some(out) = flag_value(args, "--metrics") {
         let metrics = analysis_run_metrics(
             "analyze",
@@ -451,6 +460,446 @@ fn cmd_experiment(args: &[String]) -> Result<RunStatus, String> {
         );
     }
     Ok(RunStatus::Partial)
+}
+
+/// Best-effort SIGINT/SIGTERM hooks for the serve daemon's graceful
+/// drain. The bin target carries the workspace's only `unsafe` block: a
+/// single `signal(2)` registration (no libc crate under the offline
+/// dependency policy). The handler just sets an atomic flag — the only
+/// async-signal-safe thing worth doing — and a watcher thread turns the
+/// flag into [`ServerHandle::shutdown`].
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Run the long-lived ATPG service daemon (see `DESIGN.md` §13).
+///
+/// Prints the bound address (`--addr 127.0.0.1:0` picks an ephemeral
+/// port) on stdout and serves until SIGINT/SIGTERM or `POST /shutdown`,
+/// then drains admitted requests and exits 0.
+fn cmd_serve(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--no-store-read"],
+        &[
+            "--addr",
+            "--workers",
+            "--queue",
+            "--max-conns",
+            "--max-body-bytes",
+            "--request-timeout-ms",
+            "--read-timeout-ms",
+            "--write-timeout-ms",
+            "--retry-after-secs",
+            "--jobs",
+            "--store",
+        ],
+    )?;
+    let mut config = ServeConfig {
+        jobs: jobs_from_flags(args)?,
+        store: open_store_from_flags(args)?,
+        store_read: !has_flag(args, "--no-store-read"),
+        ..ServeConfig::default()
+    };
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(n) = flag_value(args, "--workers") {
+        config.workers = parse_num(n, "--workers")?;
+    }
+    if let Some(n) = flag_value(args, "--queue") {
+        config.queue_capacity = parse_num(n, "--queue")?;
+    }
+    if let Some(n) = flag_value(args, "--max-conns") {
+        config.max_connections = parse_num(n, "--max-conns")?;
+    }
+    if let Some(n) = flag_value(args, "--max-body-bytes") {
+        config.max_body_bytes = parse_num(n, "--max-body-bytes")?;
+    }
+    if let Some(n) = flag_value(args, "--request-timeout-ms") {
+        config.max_request_ms = parse_num(n, "--request-timeout-ms")?;
+    }
+    if let Some(n) = flag_value(args, "--read-timeout-ms") {
+        config.read_timeout = Duration::from_millis(parse_num(n, "--read-timeout-ms")?);
+    }
+    if let Some(n) = flag_value(args, "--write-timeout-ms") {
+        config.write_timeout = Duration::from_millis(parse_num(n, "--write-timeout-ms")?);
+    }
+    if let Some(n) = flag_value(args, "--retry-after-secs") {
+        config.retry_after_secs = parse_num(n, "--retry-after-secs")?;
+    }
+    let requested = config.addr.clone();
+    let server = Server::bind(config).map_err(|e| format!("binding {requested}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts (the CI serve gate) parse this line for the ephemeral
+    // port, so flush it before blocking in the accept loop.
+    println!("modsoc serve listening on http://{addr}");
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    let handle = server.handle();
+    #[cfg(unix)]
+    {
+        sig::install();
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if sig::SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+                handle.shutdown();
+                return;
+            }
+            if handle.is_shutdown() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    let snapshot = server.run().map_err(|e| e.to_string())?;
+    use modsoc::metrics::Counter;
+    eprintln!(
+        "serve: drained after {} requests ({} shed, {} coalesce hits, {} deadline trips, {} panics)",
+        snapshot.counter(Counter::ServeRequests),
+        snapshot.counter(Counter::ServeShed),
+        snapshot.counter(Counter::ServeCoalesceHits),
+        snapshot.counter(Counter::ServeDeadlineTrips),
+        snapshot.counter(Counter::ServePanics),
+    );
+    Ok(RunStatus::Complete)
+}
+
+/// Advance an xorshift64 state (the workload mix generator; seeded,
+/// reproducible).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// One loadgen request outcome.
+struct LoadgenOutcome {
+    status: u16,
+    latency: Duration,
+    class: &'static str,
+    /// Response body for `hot` requests — all of these must be
+    /// byte-identical (one engine run fanned out by coalescing/store).
+    hot_body: Option<String>,
+    /// Whether a 503 carried the mandatory `Retry-After` header.
+    retry_after_ok: bool,
+}
+
+fn loadgen_request(addr: &str, seed: u64, i: usize, salt: u64) -> LoadgenOutcome {
+    let mut rng = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64 + 1);
+    let roll = xorshift(&mut rng) % 100;
+    // Mix: 40% hot (identical unit: store hits + coalescing), 25% cold
+    // (unique seeds), 15% duplicate-burst (identical within the run but
+    // distinct from `hot`), 10% oversized (413), 10% analyze text.
+    let (class, method, path, body) = if roll < 40 {
+        (
+            "hot",
+            "POST",
+            "/experiment",
+            format!("{{\"soc\": \"mini\", \"seed\": {seed}, \"timeout_ms\": 20000}}"),
+        )
+    } else if roll < 65 {
+        let unique = seed
+            .wrapping_add(1000)
+            .wrapping_add(xorshift(&mut rng) % 32);
+        (
+            "cold",
+            "POST",
+            "/experiment",
+            format!("{{\"soc\": \"mini\", \"seed\": {unique}, \"timeout_ms\": 20000}}"),
+        )
+    } else if roll < 80 {
+        (
+            "dup",
+            "POST",
+            "/experiment",
+            format!(
+                "{{\"soc\": \"mini\", \"seed\": {}, \"timeout_ms\": 20000}}",
+                seed.wrapping_add(salt)
+            ),
+        )
+    } else if roll < 90 {
+        ("oversized", "POST", "/analyze", "x".repeat(2 * 1024 * 1024))
+    } else {
+        (
+            "analyze",
+            "POST",
+            "/analyze",
+            "{\"soc\": \"soc demo\\ncore a i=4 o=3 b=0 s=10 t=50\\ncore b i=2 o=2 b=0 s=8 t=30\\n\", \"format\": \"text\"}"
+                .to_string(),
+        )
+    };
+    let started = std::time::Instant::now();
+    let resp = http_request(addr, method, path, Some(&body), Duration::from_secs(60));
+    let latency = started.elapsed();
+    match resp {
+        Ok(r) => LoadgenOutcome {
+            status: r.status,
+            latency,
+            class,
+            hot_body: (class == "hot" && r.status == 200).then(|| r.body_text()),
+            retry_after_ok: r.status != 503 || r.header("retry-after").is_some(),
+        },
+        Err(_) => LoadgenOutcome {
+            status: 0,
+            latency,
+            class,
+            hot_body: None,
+            retry_after_ok: true,
+        },
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Drive a running `modsoc serve` with a seeded mixed workload and
+/// check the service-level invariants (identical requests get identical
+/// bytes, sheds carry `Retry-After`, nothing hangs or corrupts).
+fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
+    check_flags(
+        args,
+        &["--shutdown"],
+        &[
+            "--addr",
+            "--requests",
+            "--concurrency",
+            "--seed",
+            "--flood",
+            "--analyze-file",
+        ],
+    )?;
+    let addr = flag_value(args, "--addr")
+        .ok_or("loadgen needs --addr HOST:PORT of a running `modsoc serve`")?
+        .to_string();
+    // Single-shot text analyze: emit the served report verbatim so the
+    // CI gate can byte-diff it against `modsoc analyze` stdout.
+    if let Some(path) = flag_value(args, "--analyze-file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let body = modsoc::metrics::json::JsonValue::Object(vec![
+            (
+                "soc".to_string(),
+                modsoc::metrics::json::JsonValue::String(text),
+            ),
+            (
+                "format".to_string(),
+                modsoc::metrics::json::JsonValue::String("text".to_string()),
+            ),
+        ])
+        .to_compact();
+        let resp = http_request(
+            &addr,
+            "POST",
+            "/analyze",
+            Some(&body),
+            Duration::from_secs(30),
+        )
+        .map_err(|e| format!("POST /analyze: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "served analyze failed with {}: {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        print!("{}", resp.body_text());
+        return Ok(RunStatus::Complete);
+    }
+    if has_flag(args, "--shutdown") {
+        let resp = http_request(&addr, "POST", "/shutdown", None, Duration::from_secs(10))
+            .map_err(|e| format!("POST /shutdown: {e}"))?;
+        println!("shutdown: {} {}", resp.status, resp.body_text());
+        return Ok(RunStatus::Complete);
+    }
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => parse_num(s, "--seed")?,
+        None => 1,
+    };
+    // Flood mode: hammer the daemon with more concurrent requests than
+    // its queue can hold and report the shed behavior. Distinct seeds
+    // defeat coalescing so every request wants a worker.
+    if let Some(n) = flag_value(args, "--flood") {
+        let n: usize = parse_num(n, "--flood")?;
+        let outcomes: Vec<HttpResponse> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let addr = addr.clone();
+                    s.spawn(move || {
+                        let body = format!(
+                            "{{\"soc\": \"mini\", \"seed\": {}, \"timeout_ms\": 20000}}",
+                            seed.wrapping_add(5000 + i as u64)
+                        );
+                        http_request(
+                            &addr,
+                            "POST",
+                            "/experiment",
+                            Some(&body),
+                            Duration::from_secs(60),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().ok().and_then(Result::ok))
+                .collect()
+        });
+        let ok = outcomes.iter().filter(|r| r.status == 200).count();
+        let shed = outcomes.iter().filter(|r| r.status == 503).count();
+        let shed_with_header = outcomes
+            .iter()
+            .filter(|r| r.status == 503 && r.header("retry-after").is_some())
+            .count();
+        println!(
+            "flood: {n} fired, {} answered, {ok} ok, {shed} shed with 503",
+            outcomes.len()
+        );
+        println!(
+            "retry-after on all 503s: {}",
+            if shed_with_header == shed {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        // Every fired request must get *some* answer — shedding means
+        // refusing loudly, never hanging or dropping admitted work.
+        if outcomes.len() == n && shed_with_header == shed {
+            return Ok(RunStatus::Complete);
+        }
+        return Err("flood outcomes violated the shed contract".into());
+    }
+    // Mixed-workload mode.
+    let requests: usize = match flag_value(args, "--requests") {
+        Some(n) => parse_num(n, "--requests")?,
+        None => 64,
+    };
+    let concurrency: usize = match flag_value(args, "--concurrency") {
+        Some(n) => parse_num(n, "--concurrency")?,
+        None => 8,
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let started = std::time::Instant::now();
+    let outcomes: Vec<LoadgenOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency.max(1))
+            .map(|_| {
+                let addr = addr.clone();
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if i >= requests {
+                            return mine;
+                        }
+                        mine.push(loadgen_request(&addr, seed, i, 100));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut by_status: Vec<(u16, usize)> = Vec::new();
+    for o in &outcomes {
+        match by_status.iter_mut().find(|(s, _)| *s == o.status) {
+            Some((_, c)) => *c += 1,
+            None => by_status.push((o.status, 1)),
+        }
+    }
+    by_status.sort_unstable();
+    let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    latencies.sort_unstable();
+    println!(
+        "loadgen: {} requests, {concurrency} workers, {wall:.2}s wall, {:.1} req/s",
+        outcomes.len(),
+        outcomes.len() as f64 / wall.max(1e-9)
+    );
+    let histogram: Vec<String> = by_status
+        .iter()
+        .map(|(s, c)| {
+            if *s == 0 {
+                format!("io-error: {c}")
+            } else {
+                format!("{s}: {c}")
+            }
+        })
+        .collect();
+    println!("status {}", histogram.join("  "));
+    println!(
+        "latency ms: p50 {:.1}  p90 {:.1}  p99 {:.1}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99)
+    );
+    // Invariants behind the corruption check:
+    //  * every identical "hot" request answered 200 with identical
+    //    bytes (one engine result fanned out, never a torn mix);
+    //  * oversized bodies always 413 (the cap held);
+    //  * every 503 carried Retry-After;
+    //  * no request ended in an I/O error or hung past its timeout.
+    let hot_bodies: Vec<&String> = outcomes
+        .iter()
+        .filter_map(|o| o.hot_body.as_ref())
+        .collect();
+    let hot_consistent = hot_bodies.windows(2).all(|w| w[0] == w[1]);
+    let hot_all_ok = outcomes
+        .iter()
+        .filter(|o| o.class == "hot")
+        .all(|o| o.status == 200);
+    let oversized_ok = outcomes
+        .iter()
+        .filter(|o| o.class == "oversized")
+        .all(|o| o.status == 413);
+    let sheds_tagged = outcomes.iter().all(|o| o.retry_after_ok);
+    let no_io_errors = outcomes.iter().all(|o| o.status != 0);
+    let pass = hot_consistent && hot_all_ok && oversized_ok && sheds_tagged && no_io_errors;
+    println!(
+        "zero-corruption check: {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if pass {
+        Ok(RunStatus::Complete)
+    } else {
+        Err(format!(
+            "corruption check failed (hot consistent: {hot_consistent}, hot ok: {hot_all_ok}, \
+             oversized 413: {oversized_ok}, sheds tagged: {sheds_tagged}, no io errors: {no_io_errors})"
+        ))
+    }
 }
 
 /// Run a resumable campaign of SOC experiments from a JSON spec,

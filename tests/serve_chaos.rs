@@ -1,0 +1,272 @@
+//! Chaos acceptance suite for the `modsoc serve` daemon.
+//!
+//! Hostile and unlucky clients — killed mid-request, slowloris writers,
+//! duplicate stampedes, queue overflow, SIGTERM mid-flight — must never
+//! wedge the daemon, corrupt the store, or produce divergent answers to
+//! identical questions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use modsoc::analysis::serve::{http_request, HttpResponse, ServeConfig, Server};
+use modsoc::metrics::Counter;
+use modsoc::store::ResultStore;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("modsoc_serve_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Start an in-process server on an ephemeral port; returns the
+/// address, a shutdown closure and the join handle.
+fn start(config: ServeConfig) -> (String, impl FnOnce() -> modsoc::metrics::MetricsSnapshot) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+    (addr, move || {
+        handle.shutdown();
+        join.join().expect("join")
+    })
+}
+
+fn experiment_body(seed: u64) -> String {
+    format!("{{\"soc\": \"mini\", \"seed\": {seed}, \"timeout_ms\": 20000}}")
+}
+
+fn post_experiment(addr: &str, seed: u64) -> std::io::Result<HttpResponse> {
+    http_request(
+        addr,
+        "POST",
+        "/experiment",
+        Some(&experiment_body(seed)),
+        Duration::from_secs(60),
+    )
+}
+
+#[test]
+fn killed_mid_request_clients_do_not_wedge_the_server() {
+    let (addr, stop) = start(ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    });
+    // A mix of abandonment points: before any bytes, mid-request-line,
+    // mid-headers, and mid-body (Content-Length promises more than is
+    // ever sent). Each connection is dropped without a clean close.
+    let partials: &[&[u8]] = &[
+        b"",
+        b"POST /exp",
+        b"POST /experiment HTTP/1.1\r\nContent-Le",
+        b"POST /experiment HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"soc\":",
+    ];
+    for chunk in partials {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(chunk).expect("write");
+        drop(s); // vanish
+    }
+    // The daemon must still serve real work afterwards.
+    let resp = post_experiment(&addr, 42).expect("healthy request survives");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let snap = stop();
+    assert_eq!(snap.counter(Counter::ServePanics), 0);
+}
+
+#[test]
+fn slowloris_writer_is_dropped_on_the_read_timeout() {
+    let (addr, stop) = start(ServeConfig {
+        workers: 1, // one worker: a held worker would block everything
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    // Trickle a request one byte at a time, slower than the server's
+    // patience, while holding the connection open.
+    let mut slow = TcpStream::connect(&addr).expect("connect");
+    slow.write_all(b"POST /experiment HTT")
+        .expect("first bytes");
+    std::thread::sleep(Duration::from_millis(600));
+    // The sole worker must have abandoned the slowloris by now and be
+    // free to serve a healthy request.
+    let resp = http_request(&addr, "GET", "/healthz", None, Duration::from_secs(5))
+        .expect("healthz after slowloris");
+    assert_eq!(resp.status, 200);
+    drop(slow);
+    let snap = stop();
+    assert_eq!(snap.counter(Counter::ServePanics), 0);
+}
+
+#[test]
+fn concurrent_identical_requests_serve_one_engine_run() {
+    // Reference: the same unit, once, against its own store.
+    let solo_dir = temp_dir("solo");
+    let solo_store = Arc::new(ResultStore::open(&solo_dir).expect("store"));
+    let (solo_addr, solo_stop) = start(ServeConfig {
+        workers: 4,
+        store: Some(Arc::clone(&solo_store)),
+        ..ServeConfig::default()
+    });
+    let solo = post_experiment(&solo_addr, 77).expect("solo run");
+    assert_eq!(solo.status, 200, "{}", solo.body_text());
+    solo_stop();
+    let solo_writes = solo_store.writes();
+    assert!(solo_writes > 0, "a cold run must write store entries");
+
+    // Stampede: six identical requests at once against a fresh store.
+    let dir = temp_dir("stampede");
+    let store = Arc::new(ResultStore::open(&dir).expect("store"));
+    let (addr, stop) = start(ServeConfig {
+        workers: 6,
+        store: Some(Arc::clone(&store)),
+        ..ServeConfig::default()
+    });
+    let mut bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || post_experiment(&addr, 77).expect("stampede request"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let resp = h.join().expect("no client panic");
+                assert_eq!(resp.status, 200, "{}", resp.body_text());
+                resp.body_text()
+            })
+            .collect()
+    });
+    let snap = stop();
+    bodies.sort();
+    bodies.dedup();
+    assert_eq!(
+        bodies.len(),
+        1,
+        "identical requests must get identical bytes"
+    );
+    // Exactly one engine run: the stampede wrote no more than the solo
+    // run did (followers coalesced on the in-flight leader, or hit the
+    // store for anything that landed after it finished — never a second
+    // cold computation).
+    assert_eq!(
+        store.writes(),
+        solo_writes,
+        "coalescing must not duplicate engine work (coalesce hits: {})",
+        snap.counter(Counter::ServeCoalesceHits)
+    );
+    let (valid, corrupt) = store.verify_all().expect("sweep");
+    assert_eq!(corrupt, 0, "{valid} valid entries, {corrupt} corrupt");
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_overflow_sheds_loudly_never_hangs() {
+    let (addr, stop) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    // 12 distinct-seed requests (no coalescing) against one worker and
+    // a one-slot queue: most must be refused at admission.
+    let responses: Vec<HttpResponse> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move || post_experiment(&addr, 9000 + i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("no panic")
+                    .expect("every request gets an answer")
+            })
+            .collect()
+    });
+    let shed: Vec<&HttpResponse> = responses.iter().filter(|r| r.status == 503).collect();
+    let ok = responses.iter().filter(|r| r.status == 200).count();
+    assert_eq!(
+        ok + shed.len(),
+        responses.len(),
+        "only 200 or 503 under overflow"
+    );
+    assert!(!shed.is_empty(), "overflow must shed at least one request");
+    for r in &shed {
+        assert!(
+            r.header("retry-after").is_some(),
+            "every 503 must carry Retry-After"
+        );
+    }
+    let snap = stop();
+    assert_eq!(snap.counter(Counter::ServeShed) as usize, shed.len());
+    assert_eq!(snap.counter(Counter::ServePanics), 0);
+}
+
+/// Process-level: SIGTERM mid-service must drain, exit 0, and leave the
+/// shared store passing a corruption sweep.
+#[test]
+fn sigterm_drains_the_daemon_and_preserves_the_store() {
+    let dir = temp_dir("sigterm");
+    let store_dir = dir.join("store");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_modsoc"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--store",
+            store_dir.to_str().expect("utf8"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("listen line");
+    let addr = line
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("address in listen line")
+        .to_string();
+
+    // Put real work through it so the store has entries to corrupt.
+    let resp = post_experiment(&addr, 5).expect("request against daemon");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+
+    // SIGTERM while more requests are in flight.
+    let firing = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            for i in 0..4u64 {
+                // Deliveries may fail once the drain begins — that is
+                // the point. Nothing may hang or panic.
+                let _ = post_experiment(&addr, 100 + i);
+            }
+        }
+    });
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful drain must exit 0, got {status}");
+    firing.join().expect("client thread");
+
+    let store = ResultStore::open(&store_dir).expect("reopen");
+    let (valid, corrupt) = store.verify_all().expect("sweep");
+    assert_eq!(corrupt, 0, "{valid} valid entries, {corrupt} corrupt");
+    assert!(valid > 0, "the pre-SIGTERM request must have persisted");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,11 +6,11 @@
 #
 # Opt-in extras:
 #   MODSOC_BENCH_GATE=1 ./ci.sh   also runs the perf-regression gate
-#                                 (atpg_phase_bench --check BENCH_pr3.json).
+#                                 (atpg_phase_bench --check BENCH_pr7.json).
 #                                 Keep it off on noisy/shared machines; to
 #                                 re-baseline after an intentional perf
 #                                 change, run the bench with
-#                                 --json BENCH_pr3.json and commit the file.
+#                                 --json BENCH_pr7.json and commit the file.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -59,6 +59,17 @@ diff "$workdir/jobs1.txt" "$workdir/jobs4.txt" \
 ./target/release/modsoc experiment mini --jobs 4 > "$workdir/exp4.txt"
 diff "$workdir/exp1.txt" "$workdir/exp4.txt" \
   || { echo "FAIL: experiment output diverges between --jobs 1 and --jobs 4"; exit 1; }
+
+echo "== fault-sim kernel smoke (wide vs narrow differential, --jobs 1 and 4)"
+# The wide-word kernel's contract: MODSOC_FAULT_SIM=narrow forces every
+# blocked sweep back onto the single-u64 path, and the full-binary
+# output must not move a byte in either direction at any --jobs value.
+MODSOC_FAULT_SIM=narrow ./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 1 > "$workdir/narrow1.txt"
+MODSOC_FAULT_SIM=narrow ./target/release/modsoc analyze testdata/soc2.soc --keep-going --jobs 4 > "$workdir/narrow4.txt"
+diff "$workdir/jobs1.txt" "$workdir/narrow1.txt" \
+  || { echo "FAIL: wide and narrow fault-sim kernels diverge at --jobs 1"; exit 1; }
+diff "$workdir/jobs4.txt" "$workdir/narrow4.txt" \
+  || { echo "FAIL: wide and narrow fault-sim kernels diverge at --jobs 4"; exit 1; }
 
 echo "== metrics determinism gate (counters identical at --jobs 1 vs --jobs 4)"
 # The metrics layer's contract: every report field except wall times
@@ -147,9 +158,13 @@ wait "$serve2_pid" \
   || { echo "FAIL: daemon did not exit 0 after SIGTERM"; exit 1; }
 
 if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
-  echo "== perf regression gate (atpg_phase_bench --check, +25% tolerance)"
+  echo "== perf regression gate (atpg_phase_bench --check, +50% tolerance)"
+  # 50%, not the bench's 25% default: the container-class machines this
+  # gate runs on show ~±30% best-of-N noise in the ms-scale phases. A
+  # wide-kernel regression back to narrow speed is a ~5x fault_sim_ms
+  # jump, so the gate still catches what it is here for.
   cargo build -q --release -p modsoc-bench --bin atpg_phase_bench
-  ./target/release/atpg_phase_bench --check BENCH_pr3.json --tolerance 0.25
+  ./target/release/atpg_phase_bench --check BENCH_pr7.json --tolerance 0.5
 else
   echo "== perf regression gate skipped (set MODSOC_BENCH_GATE=1 to enable)"
 fi

@@ -12,7 +12,7 @@ use modsoc_netlist::Circuit;
 
 use crate::error::AtpgError;
 use crate::fault::Fault;
-use crate::fault_sim::FaultSimulator;
+use crate::fault_sim::{block_active_mask, FaultSimulator, SimBlock, BLOCK_BITS};
 
 /// A Fibonacci LFSR with a programmable feedback polynomial.
 ///
@@ -191,30 +191,74 @@ pub fn evaluate_bist(
     let mut misr = Misr::standard();
     let mut ramp = Vec::new();
     let mut applied = 0usize;
+    if crate::fault_sim::narrow_forced() {
+        while applied < pattern_count {
+            let block: Vec<Vec<bool>> = (0..64.min(pattern_count - applied))
+                .map(|_| lfsr.next_pattern(width))
+                .collect();
+            applied += block.len();
+            let undetected: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
+            let targets: Vec<Fault> = undetected.iter().map(|&i| faults[i]).collect();
+            let masks = fsim.detection_masks(&block, &targets)?;
+            for (k, m) in masks.into_iter().enumerate() {
+                if m != 0 {
+                    detected[undetected[k]] = true;
+                }
+            }
+            // Good-machine signature over primary outputs, per pattern.
+            let (good, _) = fsim.good_values(&block)?;
+            for (slot, _) in block.iter().enumerate() {
+                let response: Vec<bool> = circuit
+                    .outputs()
+                    .iter()
+                    .map(|o| good[o.index()] & (1 << slot) != 0)
+                    .collect();
+                misr.absorb(&response);
+            }
+            ramp.push(detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64);
+        }
+        return Ok(BistOutcome {
+            patterns: applied,
+            coverage: detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64,
+            good_signature: misr.signature(),
+            ramp,
+        });
+    }
     while applied < pattern_count {
-        let block: Vec<Vec<bool>> = (0..64.min(pattern_count - applied))
+        let block: Vec<Vec<bool>> = (0..BLOCK_BITS.min(pattern_count - applied))
             .map(|_| lfsr.next_pattern(width))
             .collect();
         applied += block.len();
-        let undetected: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
-        let targets: Vec<Fault> = undetected.iter().map(|&i| faults[i]).collect();
-        let masks = fsim.detection_masks(&block, &targets)?;
-        for (k, m) in masks.into_iter().enumerate() {
-            if m != 0 {
-                detected[undetected[k]] = true;
+        let (good, n) = fsim.good_blocks(&block)?;
+        let active = block_active_mask(n);
+        // One 512-wide detection mask per still-undetected fault; marking
+        // is then replayed one 64-bit word at a time so the per-64 ramp
+        // matches the narrow path bit for bit (the ramp's granularity is
+        // part of the report contract, not an implementation detail).
+        let mut masks: Vec<(usize, SimBlock)> = Vec::new();
+        for (i, &f) in faults.iter().enumerate() {
+            if detected[i] {
+                continue;
             }
+            masks.push((i, fsim.block_detection_mask(&good, &active, f)));
+        }
+        for w in 0..n.div_ceil(64) {
+            for &(i, m) in &masks {
+                if m[w] != 0 {
+                    detected[i] = true;
+                }
+            }
+            ramp.push(detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64);
         }
         // Good-machine signature over primary outputs, per pattern.
-        let (good, _) = fsim.good_values(&block)?;
-        for (slot, _) in block.iter().enumerate() {
+        for slot in 0..n {
             let response: Vec<bool> = circuit
                 .outputs()
                 .iter()
-                .map(|o| good[o.index()] & (1 << slot) != 0)
+                .map(|o| good[o.index()][slot / 64] & (1 << (slot % 64)) != 0)
                 .collect();
             misr.absorb(&response);
         }
-        ramp.push(detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64);
     }
     Ok(BistOutcome {
         patterns: applied,
@@ -297,7 +341,10 @@ pub fn run_hybrid_metered(
 
     // Per-fault BIST detection status (evaluate_bist reports aggregates;
     // it is deterministic, so replaying a clone of the caller's LFSR
-    // reproduces the exact stream).
+    // reproduces the exact stream). This replay stays on the narrow
+    // 64-pattern path: the early break below makes the applied-pattern
+    // counter visible at 64-pattern granularity, and widening the block
+    // would change the reported BistPatterns value.
     let mut fsim = FaultSimulator::with_index(circuit, std::sync::Arc::clone(&sindex))?;
     let mut detected = vec![false; reps.len()];
     let mut replay = lfsr;

@@ -1,10 +1,32 @@
 //! Bit-parallel stuck-at fault simulation (PPSFP).
 //!
-//! Simulates 64 fully-specified patterns per pass. The good circuit is
-//! evaluated once per batch; each fault is then propagated event-driven
-//! from its site through its fanout cone only, which keeps per-fault cost
-//! proportional to the size of the affected region rather than the whole
-//! circuit.
+//! The kernel is generic over a packed word width: the good circuit is
+//! evaluated once per batch, then each fault is propagated event-driven
+//! from its site through its fanout cone only, which keeps per-fault
+//! cost proportional to the size of the affected region rather than the
+//! whole circuit. The same kernel is monomorphized at two widths:
+//!
+//! - **`u64`** — 64 patterns per pass. Used wherever a 64-slot batch is
+//!   semantically visible (the engine's random-phase keep/drop
+//!   bookkeeping, single-pattern fault dropping in PODEM/TDF/BIST
+//!   top-up, diagnosis syndromes).
+//! - **[`SimBlock`]** (`[u64; 8]`) — 512 patterns per pass, written so
+//!   the autovectorizer lifts the lane loops to 256/512-bit SIMD. The
+//!   bulk sweeps (`detected_faults*`, `detection_counts*`,
+//!   [`fault_coverage`], compaction/diagnosis matrices, TDF/BIST
+//!   coverage) run on this width by default.
+//!
+//! Values are node-major (struct-of-arrays): each node's whole block is
+//! contiguous, so wide gate evaluation streams cache lines. The sharded
+//! entry points combine pattern-parallel and fault-parallel blocking:
+//! good-value blocks are computed once on the calling thread and shared
+//! read-only by every worker, which then streams its fault shard
+//! against one cache-resident block at a time.
+//!
+//! Both widths produce bit-identical detection verdicts; setting
+//! `MODSOC_FAULT_SIM=narrow` in the environment forces every blocked
+//! sweep back onto the single-word path (the CI kernel smoke diffs the
+//! two full-binary outputs).
 
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -13,6 +35,7 @@ use std::time::Instant;
 use modsoc_metrics::{MetricsSink, NullSink};
 use modsoc_netlist::sim::Simulator;
 use modsoc_netlist::{Circuit, GateKind, NodeId, StructuralIndex};
+pub use modsoc_netlist::{PackedWord, SimBlock, BLOCK_BITS, BLOCK_WORDS};
 
 use crate::budget::{ExhaustReason, RunBudget};
 use crate::error::AtpgError;
@@ -51,11 +74,208 @@ pub fn active_mask(n: usize) -> u64 {
     }
 }
 
+/// Block-wide tail mask for `n` patterns: word `w` covers pattern slots
+/// `[64w, 64w + 64)` and is derived through [`active_mask`], so the
+/// shift special case still has exactly one home. Every
+/// `chunks(BLOCK_BITS)` tail in the blocked sweeps must come through
+/// here — this is the tail-mask contract shared with the
+/// diagnosis/TDF/compaction matrices.
+#[must_use]
+pub fn block_active_mask(n: usize) -> SimBlock {
+    let mut mask = [0u64; BLOCK_WORDS];
+    for (w, word) in mask.iter_mut().enumerate() {
+        *word = active_mask(n.saturating_sub(w * 64));
+    }
+    mask
+}
+
+/// Whether `MODSOC_FAULT_SIM=narrow` is set, forcing every blocked
+/// sweep back onto the single-`u64` path. CI uses this to diff the old
+/// and new kernels end-to-end; it is read once per sweep, never in the
+/// hot loop.
+pub(crate) fn narrow_forced() -> bool {
+    std::env::var_os("MODSOC_FAULT_SIM").is_some_and(|v| v == "narrow")
+}
+
+/// Epoch-stamped faulty-value scratch for one packed width.
+///
+/// `faulty[i]` is only meaningful when `stamp[i] == epoch`; bumping the
+/// epoch invalidates the whole array in O(1). The event heap is reused
+/// across propagations (it is always drained empty).
+#[derive(Debug, Clone)]
+struct Scratch<W> {
+    faulty: Vec<W>,
+    stamp: Vec<u32>,
+    /// Queue-membership stamp: `queued[i] == epoch` means node `i` is
+    /// already in the event heap for the current propagation, so further
+    /// fanin changes must not enqueue (or later re-evaluate) it again.
+    queued: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+}
+
+impl<W: PackedWord> Scratch<W> {
+    fn new(nodes: usize) -> Scratch<W> {
+        Scratch {
+            faulty: vec![W::ZERO; nodes],
+            stamp: vec![0; nodes],
+            queued: vec![0; nodes],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn value_of(&self, id: NodeId, good: &[W]) -> W {
+        if self.stamp[id.index()] == self.epoch {
+            self.faulty[id.index()]
+        } else {
+            good[id.index()]
+        }
+    }
+
+    #[inline]
+    fn set_faulty(&mut self, id: NodeId, v: W) {
+        self.stamp[id.index()] = self.epoch;
+        self.faulty[id.index()] = v;
+    }
+
+    /// Faulty re-evaluation of one gate: fanin values come from the
+    /// epoch overlay, with an optional pin forced to the stuck value.
+    /// Overlay values stream straight into `eval_packed_iter`'s fold, so
+    /// any fanin width — including the >16-fanin gates that used to take
+    /// a heap-spill path — evaluates without a per-call buffer (at block
+    /// width a buffered evaluation would zero and copy kilobytes per
+    /// gate).
+    fn eval_faulty(
+        &self,
+        circuit: &Circuit,
+        id: NodeId,
+        good: &[W],
+        pinforce: Option<(usize, W)>,
+    ) -> W {
+        let node = circuit.node(id);
+        if node.kind == GateKind::Input {
+            return good[id.index()];
+        }
+        match pinforce {
+            None => node
+                .kind
+                .eval_packed_iter(node.fanin.iter().map(|&f| self.value_of(f, good))),
+            Some((pin, w)) => node
+                .kind
+                .eval_packed_iter(node.fanin.iter().enumerate().map(|(k, &f)| {
+                    if k == pin {
+                        w
+                    } else {
+                        self.value_of(f, good)
+                    }
+                })),
+        }
+    }
+
+    /// Event-driven faulty-value propagation; leaves the epoch state
+    /// holding the faulty values for the current batch.
+    fn propagate(&mut self, circuit: &Circuit, index: &StructuralIndex, good: &[W], fault: Fault) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap: invalidate everything once.
+            self.stamp.fill(u32::MAX);
+            self.queued.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        let stuck_word = if fault.stuck_at_one { W::ONES } else { W::ZERO };
+
+        // Seed the event queue. Events pop in topological order and a
+        // node's fanins all sit strictly earlier in that order, so by the
+        // time a node pops every upstream change has settled — one
+        // evaluation per node is authoritative, and the `queued` stamp
+        // keeps a node with several changed fanins from being enqueued
+        // (and re-evaluated) once per fanin.
+        debug_assert!(self.heap.is_empty());
+        match fault.site {
+            FaultSite::Stem(site) => {
+                if good[site.index()] != stuck_word {
+                    self.set_faulty(site, stuck_word);
+                    for &fo in index.fanouts(site) {
+                        self.enqueue(index, fo);
+                    }
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let v = self.eval_faulty(circuit, gate, good, Some((pin, stuck_word)));
+                if v != good[gate.index()] {
+                    self.set_faulty(gate, v);
+                    for &fo in index.fanouts(gate) {
+                        self.enqueue(index, fo);
+                    }
+                }
+            }
+        }
+
+        while let Some(std::cmp::Reverse((_, raw))) = self.heap.pop() {
+            let id = NodeId::from_index(raw as usize);
+            let pinforce = match fault.site {
+                FaultSite::Pin { gate, pin } if gate == id => Some((pin, stuck_word)),
+                _ => None,
+            };
+            let v = self.eval_faulty(circuit, id, good, pinforce);
+            let current = self.value_of(id, good);
+            if v == current {
+                continue;
+            }
+            // A stem fault site never re-evaluates (it has no upstream
+            // events), so no special case needed here.
+            self.set_faulty(id, v);
+            for &fo in index.fanouts(id) {
+                self.enqueue(index, fo);
+            }
+        }
+    }
+
+    /// Enqueue `fo` for (re-)evaluation unless it is already pending in
+    /// the current epoch.
+    #[inline]
+    fn enqueue(&mut self, index: &StructuralIndex, fo: NodeId) {
+        if self.queued[fo.index()] != self.epoch {
+            self.queued[fo.index()] = self.epoch;
+            self.heap
+                .push(std::cmp::Reverse((index.topo_pos(fo), fo.index() as u32)));
+        }
+    }
+
+    /// Propagate `fault` and fold the output mismatches into one
+    /// detection mask, tail-masked by `active`.
+    fn detection_mask(
+        &mut self,
+        circuit: &Circuit,
+        index: &StructuralIndex,
+        good: &[W],
+        active: W,
+        fault: Fault,
+    ) -> W {
+        self.propagate(circuit, index, good, fault);
+        let mut mask = W::ZERO;
+        for &po in circuit.outputs() {
+            let i = po.index();
+            // An output the propagation never touched cannot mismatch;
+            // gating on the stamp skips two block loads per untouched
+            // output, which is most of them for a small fanout cone.
+            if self.stamp[i] == self.epoch {
+                mask = mask.or(good[i].xor(self.faulty[i]));
+            }
+        }
+        mask.and(active)
+    }
+}
+
 /// A fault simulator bound to one combinational circuit.
 ///
-/// Holds reusable scratch buffers; create once and call
-/// [`FaultSimulator::detection_masks`] per 64-pattern batch. `Clone` is
-/// cheap relative to [`FaultSimulator::new`] (the shared
+/// Holds reusable scratch buffers for both packed widths (the 512-slot
+/// scratch is allocated lazily on first blocked sweep); create once and
+/// call [`FaultSimulator::detection_masks`] per 64-pattern batch or
+/// [`FaultSimulator::block_detection_mask`] per 512-pattern block.
+/// `Clone` is cheap relative to [`FaultSimulator::new`] (the shared
 /// [`StructuralIndex`] is reference-counted, not recomputed), which is
 /// how the sharded entry points hand each worker thread its own
 /// simulator.
@@ -64,10 +284,8 @@ pub struct FaultSimulator<'a> {
     circuit: &'a Circuit,
     sim: Simulator,
     index: Arc<StructuralIndex>,
-    // Scratch (epoch-stamped faulty values).
-    faulty: Vec<u64>,
-    stamp: Vec<u32>,
-    epoch: u32,
+    narrow: Scratch<u64>,
+    wide: Option<Scratch<SimBlock>>,
 }
 
 impl<'a> FaultSimulator<'a> {
@@ -107,9 +325,8 @@ impl<'a> FaultSimulator<'a> {
             circuit,
             sim,
             index,
-            faulty: vec![0; circuit.node_count()],
-            stamp: vec![0; circuit.node_count()],
-            epoch: 0,
+            narrow: Scratch::new(circuit.node_count()),
+            wide: None,
         })
     }
 
@@ -127,15 +344,7 @@ impl<'a> FaultSimulator<'a> {
     /// Panics if more than 64 patterns are supplied.
     pub fn good_values(&self, patterns: &[Vec<bool>]) -> Result<(Vec<u64>, usize), AtpgError> {
         assert!(patterns.len() <= 64, "at most 64 patterns per batch");
-        let width = self.circuit.input_count();
-        for p in patterns {
-            if p.len() != width {
-                return Err(AtpgError::PatternWidth {
-                    expected: width,
-                    got: p.len(),
-                });
-            }
-        }
+        let width = self.check_widths(patterns)?;
         let mut words = vec![0u64; width];
         for (slot, p) in patterns.iter().enumerate() {
             for (i, &b) in p.iter().enumerate() {
@@ -147,6 +356,53 @@ impl<'a> FaultSimulator<'a> {
         Ok((self.sim.run_on(self.circuit, &words), patterns.len()))
     }
 
+    /// Evaluate the good circuit for a block of ≤[`BLOCK_BITS`] (512)
+    /// patterns, node-major: element `i` holds node `i`'s whole block.
+    ///
+    /// Returns `(per-node packed blocks, number of patterns)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::PatternWidth`] if any pattern width differs
+    /// from the circuit's input count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`BLOCK_BITS`] patterns are supplied.
+    pub fn good_blocks(&self, patterns: &[Vec<bool>]) -> Result<(Vec<SimBlock>, usize), AtpgError> {
+        assert!(
+            patterns.len() <= BLOCK_BITS,
+            "at most {BLOCK_BITS} patterns per block"
+        );
+        let width = self.check_widths(patterns)?;
+        let mut blocks = vec![[0u64; BLOCK_WORDS]; width];
+        for (slot, p) in patterns.iter().enumerate() {
+            let (w, bit) = (slot / 64, slot % 64);
+            for (i, &b) in p.iter().enumerate() {
+                if b {
+                    blocks[i][w] |= 1 << bit;
+                }
+            }
+        }
+        Ok((
+            self.sim.run_packed_on(self.circuit, &blocks),
+            patterns.len(),
+        ))
+    }
+
+    fn check_widths(&self, patterns: &[Vec<bool>]) -> Result<usize, AtpgError> {
+        let width = self.circuit.input_count();
+        for p in patterns {
+            if p.len() != width {
+                return Err(AtpgError::PatternWidth {
+                    expected: width,
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(width)
+    }
+
     /// Which of the batch's patterns detect `fault`: bit `k` of the result
     /// is set iff pattern `k` produces a different value on some primary
     /// output in the faulty circuit.
@@ -154,23 +410,40 @@ impl<'a> FaultSimulator<'a> {
     /// `good` must come from [`FaultSimulator::good_values`] for the same
     /// batch; `active` masks the valid pattern slots.
     pub fn detection_mask(&mut self, good: &[u64], active: u64, fault: Fault) -> u64 {
-        self.propagate(good, fault);
-        let mut mask = 0u64;
-        for &po in self.circuit.outputs() {
-            mask |= good[po.index()] ^ self.value_of(po, good);
-        }
-        mask & active
+        self.narrow
+            .detection_mask(self.circuit, &self.index, good, active, fault)
+    }
+
+    /// [`FaultSimulator::detection_mask`] at block width: slot `64w + k`
+    /// of the result covers pattern `64w + k` of the block. `good` must
+    /// come from [`FaultSimulator::good_blocks`] for the same block;
+    /// `active` is the matching [`block_active_mask`].
+    pub fn block_detection_mask(
+        &mut self,
+        good: &[SimBlock],
+        active: &SimBlock,
+        fault: Fault,
+    ) -> SimBlock {
+        let FaultSimulator {
+            circuit,
+            index,
+            wide,
+            ..
+        } = self;
+        wide.get_or_insert_with(|| Scratch::new(circuit.node_count()))
+            .detection_mask(circuit, index, good, *active, fault)
     }
 
     /// Per-output detection masks for one fault: element `k` is the
     /// pattern mask on which primary output `k` mismatches. One faulty
     /// propagation serves all outputs.
     pub fn output_detection_masks(&mut self, good: &[u64], active: u64, fault: Fault) -> Vec<u64> {
-        self.propagate(good, fault);
+        self.narrow
+            .propagate(self.circuit, &self.index, good, fault);
         self.circuit
             .outputs()
             .iter()
-            .map(|&po| (good[po.index()] ^ self.value_of(po, good)) & active)
+            .map(|&po| (good[po.index()] ^ self.narrow.value_of(po, good)) & active)
             .collect()
     }
 
@@ -188,76 +461,10 @@ impl<'a> FaultSimulator<'a> {
         fault: Fault,
         output: usize,
     ) -> u64 {
-        self.propagate(good, fault);
+        self.narrow
+            .propagate(self.circuit, &self.index, good, fault);
         let po = self.circuit.outputs()[output];
-        (good[po.index()] ^ self.value_of(po, good)) & active
-    }
-
-    /// Event-driven faulty-value propagation; leaves the epoch state
-    /// holding the faulty values for the current batch.
-    fn propagate(&mut self, good: &[u64], fault: Fault) {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Stamp wrap: invalidate everything once.
-            self.stamp.fill(u32::MAX);
-            self.epoch = 1;
-        }
-        let stuck_word = if fault.stuck_at_one { u64::MAX } else { 0 };
-
-        // Seed the event queue.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
-        match fault.site {
-            FaultSite::Stem(site) => {
-                if good[site.index()] != stuck_word {
-                    self.set_faulty(site, stuck_word);
-                    for &fo in self.index.fanouts(site) {
-                        heap.push(std::cmp::Reverse((
-                            self.index.topo_pos(fo),
-                            fo.index() as u32,
-                        )));
-                    }
-                }
-            }
-            FaultSite::Pin { gate, pin } => {
-                let v = self.eval_faulty(gate, good, Some((pin, stuck_word)));
-                if v != good[gate.index()] {
-                    self.set_faulty(gate, v);
-                    for &fo in self.index.fanouts(gate) {
-                        heap.push(std::cmp::Reverse((
-                            self.index.topo_pos(fo),
-                            fo.index() as u32,
-                        )));
-                    }
-                }
-            }
-        }
-
-        while let Some(std::cmp::Reverse((_, raw))) = heap.pop() {
-            let id = NodeId::from_index(raw as usize);
-            // A node can be queued multiple times; the first (lowest topo
-            // position is unique per node) evaluation is authoritative —
-            // dedupe by checking whether recomputation changes anything.
-            let pinforce = match fault.site {
-                FaultSite::Pin { gate, pin } if gate == id => {
-                    Some((pin, if fault.stuck_at_one { u64::MAX } else { 0 }))
-                }
-                _ => None,
-            };
-            let v = self.eval_faulty(id, good, pinforce);
-            let current = self.value_of(id, good);
-            if v == current {
-                continue;
-            }
-            // A stem fault site never re-evaluates (it has no upstream
-            // events), so no special case needed here.
-            self.set_faulty(id, v);
-            for &fo in self.index.fanouts(id) {
-                heap.push(std::cmp::Reverse((
-                    self.index.topo_pos(fo),
-                    fo.index() as u32,
-                )));
-            }
-        }
+        (good[po.index()] ^ self.narrow.value_of(po, good)) & active
     }
 
     /// Detection masks for a whole fault list against one batch.
@@ -283,7 +490,10 @@ impl<'a> FaultSimulator<'a> {
     /// [`BUDGET_POLL_STRIDE`] faults. On a trip the sweep stops early and
     /// the reason is returned alongside the masks; unprocessed faults
     /// keep an all-zero mask, which downstream fault dropping reads as
-    /// "not detected" — conservative, never unsound.
+    /// "not detected" — conservative, never unsound. The partially
+    /// accumulated prefix is re-masked with the batch's [`active_mask`]
+    /// on the trip path, so ghost slots beyond the simulated prefix can
+    /// never read as detections regardless of where the trip lands.
     ///
     /// # Errors
     ///
@@ -300,6 +510,13 @@ impl<'a> FaultSimulator<'a> {
         for (i, &f) in faults.iter().enumerate() {
             if i % BUDGET_POLL_STRIDE == 0 {
                 if let Some(reason) = budget.check() {
+                    // Budget tripped mid-sweep: re-assert the tail
+                    // discipline on the partial prefix before handing it
+                    // back (defense in depth — a mask produced by any
+                    // future accumulation scheme must still obey it).
+                    for m in &mut masks {
+                        *m &= active;
+                    }
                     return Ok((masks, Some(reason)));
                 }
             }
@@ -308,39 +525,45 @@ impl<'a> FaultSimulator<'a> {
         Ok((masks, None))
     }
 
-    fn value_of(&self, id: NodeId, good: &[u64]) -> u64 {
-        if self.stamp[id.index()] == self.epoch {
-            self.faulty[id.index()]
-        } else {
-            good[id.index()]
+    /// Which faults `patterns` (any count) detect, swept with the wide
+    /// kernel on this simulator's scratch: patterns are consumed in
+    /// [`BLOCK_BITS`] blocks, and a fault detected by an earlier block
+    /// is dropped from later blocks (pure OR-reduction, so the result is
+    /// identical to an undropped sweep). Honors `MODSOC_FAULT_SIM=narrow`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern width errors.
+    pub fn detected_over(
+        &mut self,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+    ) -> Result<Vec<bool>, AtpgError> {
+        let mut detected = vec![false; faults.len()];
+        if narrow_forced() {
+            for chunk in patterns.chunks(64) {
+                let masks = self.detection_masks(chunk, faults)?;
+                for (d, m) in detected.iter_mut().zip(masks) {
+                    if m != 0 {
+                        *d = true;
+                    }
+                }
+            }
+            return Ok(detected);
         }
-    }
-
-    fn set_faulty(&mut self, id: NodeId, v: u64) {
-        self.stamp[id.index()] = self.epoch;
-        self.faulty[id.index()] = v;
-    }
-
-    fn eval_faulty(&self, id: NodeId, good: &[u64], pinforce: Option<(usize, u64)>) -> u64 {
-        let node = self.circuit.node(id);
-        if node.kind == GateKind::Input {
-            return good[id.index()];
+        for chunk in patterns.chunks(BLOCK_BITS) {
+            let (good, n) = self.good_blocks(chunk)?;
+            let active = block_active_mask(n);
+            for (d, &f) in detected.iter_mut().zip(faults) {
+                if *d {
+                    continue;
+                }
+                if !self.block_detection_mask(&good, &active, f).is_zero() {
+                    *d = true;
+                }
+            }
         }
-        let mut buf = [0u64; 16];
-        let mut vec_buf;
-        let fanin: &mut [u64] = if node.fanin.len() <= 16 {
-            &mut buf[..node.fanin.len()]
-        } else {
-            vec_buf = vec![0u64; node.fanin.len()];
-            &mut vec_buf
-        };
-        for (k, f) in node.fanin.iter().enumerate() {
-            fanin[k] = self.value_of(*f, good);
-        }
-        if let Some((pin, w)) = pinforce {
-            fanin[pin] = w;
-        }
-        node.kind.eval64(fanin)
+        Ok(detected)
     }
 }
 
@@ -358,16 +581,7 @@ pub fn fault_coverage(
     if faults.is_empty() {
         return Ok(1.0);
     }
-    let mut fsim = FaultSimulator::new(circuit)?;
-    let mut detected = vec![false; faults.len()];
-    for chunk in patterns.chunks(64) {
-        let masks = fsim.detection_masks(chunk, faults)?;
-        for (d, m) in detected.iter_mut().zip(masks) {
-            if m != 0 {
-                *d = true;
-            }
-        }
-    }
+    let detected = FaultSimulator::new(circuit)?.detected_over(patterns, faults)?;
     Ok(detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64)
 }
 
@@ -381,9 +595,10 @@ pub fn fault_coverage(
 /// joins (payload preserved).
 ///
 /// When `sink` is enabled, each shard reports a worker-utilization row
-/// (shard index, faults claimed, busy wall time). Rows are
-/// scheduling-dependent and excluded from the determinism contract; the
-/// computed results are unaffected.
+/// (shard index, faults claimed, busy wall time; if the elapsed nanos
+/// overflow `u64` the row is flagged saturated rather than inventing a
+/// fake huge value). Rows are scheduling-dependent and excluded from the
+/// determinism contract; the computed results are unaffected.
 fn run_sharded<T: Send>(
     mut proto: FaultSimulator<'_>,
     faults: &[Fault],
@@ -398,8 +613,11 @@ fn run_sharded<T: Send>(
         let start = sink.enabled().then(Instant::now);
         let out = per_shard(fsim, shard);
         if let Some(start) = start {
-            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            sink.worker(shard_idx, shard.len() as u64, nanos);
+            let (nanos, saturated) = match u64::try_from(start.elapsed().as_nanos()) {
+                Ok(n) => (n, false),
+                Err(_) => (u64::MAX, true),
+            };
+            sink.worker(shard_idx, shard.len() as u64, nanos, saturated);
         }
         out
     };
@@ -429,6 +647,23 @@ fn run_sharded<T: Send>(
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// Good-value blocks for a whole pattern set: one `(node-major blocks,
+/// tail mask)` entry per [`BLOCK_BITS`] chunk, computed once on the
+/// calling thread so sharded workers can stream them read-only (the
+/// pattern-parallel half of the cache blocking).
+fn good_block_sweep(
+    proto: &FaultSimulator<'_>,
+    patterns: &[Vec<bool>],
+) -> Result<Vec<(Vec<SimBlock>, SimBlock)>, AtpgError> {
+    patterns
+        .chunks(BLOCK_BITS)
+        .map(|chunk| {
+            let (good, n) = proto.good_blocks(chunk)?;
+            Ok((good, block_active_mask(n)))
+        })
+        .collect()
 }
 
 /// Per-fault *detection counts* of a pattern set: how many patterns
@@ -461,12 +696,9 @@ pub fn detection_counts_threaded(
     faults: &[Fault],
     jobs: usize,
 ) -> Result<Vec<u32>, AtpgError> {
-    run_sharded(
-        FaultSimulator::new(circuit)?,
-        faults,
-        jobs,
-        &NullSink,
-        |fsim, shard| {
+    let proto = FaultSimulator::new(circuit)?;
+    if narrow_forced() {
+        return run_sharded(proto, faults, jobs, &NullSink, |fsim, shard| {
             let mut counts = vec![0u32; shard.len()];
             for chunk in patterns.chunks(64) {
                 let masks = fsim.detection_masks(chunk, shard)?;
@@ -475,8 +707,18 @@ pub fn detection_counts_threaded(
                 }
             }
             Ok(counts)
-        },
-    )
+        });
+    }
+    let blocks = good_block_sweep(&proto, patterns)?;
+    run_sharded(proto, faults, jobs, &NullSink, |fsim, shard| {
+        let mut counts = vec![0u32; shard.len()];
+        for (good, active) in &blocks {
+            for (c, &f) in counts.iter_mut().zip(shard) {
+                *c += fsim.block_detection_mask(good, active, f).count_ones();
+            }
+        }
+        Ok(counts)
+    })
 }
 
 /// Which faults the pattern set detects at all: the boolean reduction of
@@ -554,12 +796,34 @@ fn detected_faults_via_sink(
     jobs: usize,
     sink: &dyn MetricsSink,
 ) -> Result<Vec<bool>, AtpgError> {
+    if narrow_forced() {
+        return run_sharded(proto, faults, jobs, sink, |fsim, shard| {
+            let mut detected = vec![false; shard.len()];
+            for chunk in patterns.chunks(64) {
+                let masks = fsim.detection_masks(chunk, shard)?;
+                for (d, m) in detected.iter_mut().zip(masks) {
+                    if m != 0 {
+                        *d = true;
+                    }
+                }
+            }
+            Ok(detected)
+        });
+    }
+    let blocks = good_block_sweep(&proto, patterns)?;
     run_sharded(proto, faults, jobs, sink, |fsim, shard| {
         let mut detected = vec![false; shard.len()];
-        for chunk in patterns.chunks(64) {
-            let masks = fsim.detection_masks(chunk, shard)?;
-            for (d, m) in detected.iter_mut().zip(masks) {
-                if m != 0 {
+        // Blocks outer, faults inner: each worker streams its fault
+        // shard against one cache-resident good block at a time, and a
+        // fault detected by an earlier block is dropped from later ones
+        // (an OR-reduction, so results are identical with or without
+        // the drop at any shard split).
+        for (good, active) in &blocks {
+            for (d, &f) in detected.iter_mut().zip(shard) {
+                if *d {
+                    continue;
+                }
+                if !fsim.block_detection_mask(good, active, f).is_zero() {
                     *d = true;
                 }
             }
@@ -647,6 +911,74 @@ g23 = NAND(g16, g19)
         (0..(1usize << n))
             .map(|row| (0..n).map(|i| (row >> i) & 1 == 1).collect())
             .collect()
+    }
+
+    /// A bigger layered circuit shared by the threaded and blocked
+    /// differential tests.
+    fn layered_circuit() -> Circuit {
+        let mut c = Circuit::new("big");
+        let mut prev: Vec<_> = (0..12).map(|i| c.add_input(format!("i{i}"))).collect();
+        for layer in 0..6 {
+            let mut next = Vec::new();
+            for (k, pair) in prev.chunks(2).enumerate() {
+                let kind = match (layer + k) % 4 {
+                    0 => GateKind::Nand,
+                    1 => GateKind::Xor,
+                    2 => GateKind::Or,
+                    _ => GateKind::Nor,
+                };
+                let g = if pair.len() == 2 {
+                    c.add_gate(format!("g{layer}_{k}"), kind, &[pair[0], pair[1]])
+                        .unwrap()
+                } else {
+                    c.add_gate(format!("g{layer}_{k}"), GateKind::Not, &[pair[0]])
+                        .unwrap()
+                };
+                next.push(g);
+            }
+            next.extend(prev.iter().skip(next.len() * 2).copied());
+            prev = next;
+            if prev.len() == 1 {
+                break;
+            }
+        }
+        for &p in &prev {
+            c.mark_output(p);
+        }
+        c
+    }
+
+    /// Deterministic mixed-density pattern generator.
+    fn cyc_patterns(inputs: usize, count: usize) -> Vec<Vec<bool>> {
+        (0..count)
+            .map(|k| {
+                (0..inputs)
+                    .map(|i| (k * 31 + i * 7 + (k >> 3)) % 5 < 2)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Narrow reference sweep: per-fault detected flags and detection
+    /// counts via the original `chunks(64)` path.
+    fn narrow_reference(
+        c: &Circuit,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+    ) -> (Vec<bool>, Vec<u32>) {
+        let mut fsim = FaultSimulator::new(c).unwrap();
+        let mut detected = vec![false; faults.len()];
+        let mut counts = vec![0u32; faults.len()];
+        for chunk in patterns.chunks(64) {
+            let masks = fsim.detection_masks(chunk, faults).unwrap();
+            for ((d, c), m) in detected.iter_mut().zip(counts.iter_mut()).zip(masks) {
+                if m != 0 {
+                    *d = true;
+                }
+                *c += m.count_ones();
+            }
+        }
+        (detected, counts)
     }
 
     #[test]
@@ -775,36 +1107,7 @@ g23 = NAND(g16, g19)
 
     #[test]
     fn threaded_on_larger_circuit() {
-        // A bigger randomized circuit: build via repeated gates.
-        let mut c = Circuit::new("big");
-        let mut prev: Vec<_> = (0..12).map(|i| c.add_input(format!("i{i}"))).collect();
-        for layer in 0..6 {
-            let mut next = Vec::new();
-            for (k, pair) in prev.chunks(2).enumerate() {
-                let kind = match (layer + k) % 4 {
-                    0 => GateKind::Nand,
-                    1 => GateKind::Xor,
-                    2 => GateKind::Or,
-                    _ => GateKind::Nor,
-                };
-                let g = if pair.len() == 2 {
-                    c.add_gate(format!("g{layer}_{k}"), kind, &[pair[0], pair[1]])
-                        .unwrap()
-                } else {
-                    c.add_gate(format!("g{layer}_{k}"), GateKind::Not, &[pair[0]])
-                        .unwrap()
-                };
-                next.push(g);
-            }
-            next.extend(prev.iter().skip(next.len() * 2).copied());
-            prev = next;
-            if prev.len() == 1 {
-                break;
-            }
-        }
-        for &p in &prev {
-            c.mark_output(p);
-        }
+        let c = layered_circuit();
         let patterns: Vec<Vec<bool>> = (0..64u64)
             .map(|k| (0..12).map(|i| (k >> (i % 6)) & 1 == 1).collect())
             .collect();
@@ -827,6 +1130,26 @@ g23 = NAND(g16, g19)
         // 65-pattern set is handled as chunks of 64 + 1 upstream, but the
         // helper itself must stay total).
         assert_eq!(active_mask(65), u64::MAX);
+    }
+
+    #[test]
+    fn block_active_mask_tail_widths() {
+        assert_eq!(block_active_mask(0), [0u64; BLOCK_WORDS]);
+        assert_eq!(block_active_mask(BLOCK_BITS), [u64::MAX; BLOCK_WORDS]);
+        assert_eq!(block_active_mask(BLOCK_BITS + 1), [u64::MAX; BLOCK_WORDS]);
+        // Tail inside the first word.
+        let m = block_active_mask(3);
+        assert_eq!(m[0], 0b111);
+        assert!(m[1..].iter().all(|&w| w == 0));
+        // Word-boundary widths around 64: the per-word masks must agree
+        // with the narrow helper on every sub-batch.
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 448, 511] {
+            let m = block_active_mask(n);
+            for (w, &word) in m.iter().enumerate() {
+                let sub = n.saturating_sub(w * 64).min(64);
+                assert_eq!(word, active_mask(sub), "n={n} word {w}");
+            }
+        }
     }
 
     #[test]
@@ -854,11 +1177,221 @@ g23 = NAND(g16, g19)
         }
     }
 
+    /// The differential oracle pinning the wide kernel to the old
+    /// single-word path: for every fault, word `w` of the block mask
+    /// must equal the narrow mask of sub-batch `w`, across tail widths
+    /// straddling every word boundary that matters (63/64/65, exactly
+    /// one block, one block + 1).
+    #[test]
+    fn block_masks_match_narrow_chunks_word_for_word() {
+        let c = layered_circuit();
+        let faults = enumerate_faults(&c);
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        for &count in &[1usize, 63, 64, 65, 100, 511, 512] {
+            let patterns = cyc_patterns(12, count);
+            let (good, n) = fsim.good_blocks(&patterns).unwrap();
+            let active = block_active_mask(n);
+            for &fault in &faults {
+                let block = fsim.block_detection_mask(&good, &active, fault);
+                for (w, chunk) in patterns.chunks(64).enumerate() {
+                    let narrow = fsim.detection_masks(chunk, &[fault]).unwrap()[0];
+                    assert_eq!(
+                        block[w],
+                        narrow,
+                        "count={count} word={w} fault={}",
+                        fault.describe(&c)
+                    );
+                }
+                // Words past the tail stay silent.
+                for (w, &word) in block.iter().enumerate().skip(count.div_ceil(64)) {
+                    assert_eq!(word, 0, "count={count} ghost word {w}");
+                }
+            }
+        }
+    }
+
+    /// Aggregate blocked entry points vs the narrow reference sweep,
+    /// including multi-block pattern sets and every shard split.
+    #[test]
+    fn blocked_aggregates_match_narrow_reference() {
+        let c = layered_circuit();
+        let faults = enumerate_faults(&c);
+        for &count in &[65usize, 512, 513, 700] {
+            let patterns = cyc_patterns(12, count);
+            let (ref_detected, ref_counts) = narrow_reference(&c, &patterns, &faults);
+            for jobs in [1, 4] {
+                assert_eq!(
+                    detected_faults(&c, &patterns, &faults, jobs).unwrap(),
+                    ref_detected,
+                    "count={count} jobs={jobs}"
+                );
+                assert_eq!(
+                    detection_counts_threaded(&c, &patterns, &faults, jobs).unwrap(),
+                    ref_counts,
+                    "count={count} jobs={jobs}"
+                );
+            }
+            let mut fsim = FaultSimulator::new(&c).unwrap();
+            assert_eq!(
+                fsim.detected_over(&patterns, &faults).unwrap(),
+                ref_detected,
+                "count={count} detected_over"
+            );
+        }
+    }
+
+    /// Blocked vs narrow on a circuitgen-generated scan core (the same
+    /// generator family the benches and experiments run on).
+    #[test]
+    fn blocked_matches_narrow_on_generated_core() {
+        let core =
+            modsoc_circuitgen::generate(&modsoc_circuitgen::profile::iscas::s713(11)).unwrap();
+        let model = core.to_test_model().unwrap();
+        let c = &model.circuit;
+        let faults: Vec<Fault> = enumerate_faults(c).into_iter().take(300).collect();
+        let patterns = cyc_patterns(c.input_count(), 130);
+        let (ref_detected, ref_counts) = narrow_reference(c, &patterns, &faults);
+        for jobs in [1, 4] {
+            assert_eq!(
+                detected_faults(c, &patterns, &faults, jobs).unwrap(),
+                ref_detected,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                detection_counts_threaded(c, &patterns, &faults, jobs).unwrap(),
+                ref_counts,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    /// Build a circuitgen-derived circuit with gates far above the
+    /// 16-fanin stack buffer, optionally rewiring one AND pin to a
+    /// constant (the explicit-circuit oracle for a pin fault on that
+    /// pin). Returns the circuit and the wide AND's node id.
+    fn wide_fanin_circuit(pin_override: Option<(usize, bool)>) -> (Circuit, NodeId) {
+        let core =
+            modsoc_circuitgen::generate(&modsoc_circuitgen::profile::iscas::s713(7)).unwrap();
+        let mut c = core.to_test_model().unwrap().circuit;
+        let ins: Vec<NodeId> = c.inputs().to_vec();
+        assert!(ins.len() >= 24, "s713 model has 54 inputs");
+        let mut fan24: Vec<NodeId> = ins[..24].to_vec();
+        let fan20: Vec<NodeId> = ins[..20].to_vec();
+        if let Some((pin, stuck_at_one)) = pin_override {
+            let kind = if stuck_at_one {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
+            let cst = c.add_gate("pin_const", kind, &[]).unwrap();
+            fan24[pin] = cst;
+        }
+        let wide_and = c.add_gate("wide_and", GateKind::And, &fan24).unwrap();
+        let wide_xor = c.add_gate("wide_xor", GateKind::Xor, &fan20).unwrap();
+        let top = c
+            .add_gate("wide_top", GateKind::Nor, &[wide_and, wide_xor])
+            .unwrap();
+        c.mark_output(top);
+        (c, wide_and)
+    }
+
+    /// The `eval_faulty` spill path (fanin > 16 falls back from the
+    /// stack buffer to a heap vec): pin faults with pin index beyond
+    /// the stack capacity, checked against an explicit faulty-circuit
+    /// re-simulation, plus stem faults through the wide gates checked
+    /// against the naive forced-node oracle — on both kernel widths.
+    #[test]
+    fn eval_faulty_spill_path_matches_explicit_oracle() {
+        let (c, wide_and) = wide_fanin_circuit(None);
+        let patterns = cyc_patterns(c.input_count(), 100);
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let sim = Simulator::new(&c).unwrap();
+
+        // Pack the patterns once for the oracle's output comparison.
+        let mut words = vec![0u64; c.input_count()];
+        for (slot, p) in patterns.iter().take(64).enumerate() {
+            for (i, &b) in p.iter().enumerate() {
+                if b {
+                    words[i] |= 1 << slot;
+                }
+            }
+        }
+
+        for &(pin, sa1) in &[(17usize, true), (17, false), (23, true)] {
+            let fault = Fault::pin(wide_and, pin, sa1);
+            // Oracle: re-simulate a circuit with that pin hard-wired to
+            // the stuck constant (legal because the pin feeds from a
+            // primary input, so rewiring it is exactly the pin fault).
+            let (twin, _) = wide_fanin_circuit(Some((pin, sa1)));
+            let twin_sim = Simulator::new(&twin).unwrap();
+            let good_outs = sim.run_outputs(&c, &words);
+            let bad_outs = twin_sim.run_outputs(&twin, &words);
+            let mut want = 0u64;
+            for (g, b) in good_outs.iter().zip(&bad_outs) {
+                want |= g ^ b;
+            }
+            want &= active_mask(64);
+
+            let narrow = fsim.detection_masks(&patterns[..64], &[fault]).unwrap()[0];
+            assert_eq!(narrow, want, "narrow spill pin={pin} sa1={sa1}");
+
+            // Wide kernel: word 0 of the block mask must agree.
+            let (good, n) = fsim.good_blocks(&patterns).unwrap();
+            let active = block_active_mask(n);
+            let block = fsim.block_detection_mask(&good, &active, fault);
+            assert_eq!(block[0], want, "wide spill pin={pin} sa1={sa1}");
+        }
+
+        // Stem faults through the wide gates: downstream re-evaluation
+        // of the 24-fanin AND takes the spill path too.
+        for site in [wide_and, c.inputs()[3], c.inputs()[19]] {
+            for fault in [Fault::stem_sa0(site), Fault::stem_sa1(site)] {
+                let want = naive_stem_mask(&c, &patterns[..64], fault);
+                let narrow = fsim.detection_masks(&patterns[..64], &[fault]).unwrap()[0];
+                assert_eq!(narrow, want, "narrow stem {}", fault.describe(&c));
+                let (good, n) = fsim.good_blocks(&patterns).unwrap();
+                let active = block_active_mask(n);
+                let block = fsim.block_detection_mask(&good, &active, fault);
+                assert_eq!(block[0], want, "wide stem {}", fault.describe(&c));
+            }
+        }
+    }
+
+    /// Budget trip mid-sweep: the partial prefix keeps the tail
+    /// discipline (no ghost-slot bits) and unprocessed faults read as
+    /// undetected.
+    #[test]
+    fn budget_trip_returns_masked_partial_prefix() {
+        let c = c17();
+        let mut fsim = FaultSimulator::new(&c).unwrap();
+        let faults = enumerate_faults(&c);
+        let patterns = all_input_patterns(5)
+            .into_iter()
+            .take(3)
+            .collect::<Vec<_>>();
+        let budget = RunBudget::unlimited();
+        budget.cancel();
+        let (masks, reason) = fsim
+            .detection_masks_budgeted(&patterns, &faults, &budget)
+            .unwrap();
+        assert_eq!(reason, Some(ExhaustReason::Cancelled));
+        let active = active_mask(patterns.len());
+        assert!(masks.iter().all(|&m| m & !active == 0));
+    }
+
     #[test]
     fn width_mismatch_rejected() {
         let c = c17();
         let mut fsim = FaultSimulator::new(&c).unwrap();
         let err = fsim.detection_masks(&[vec![true; 3]], &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            AtpgError::PatternWidth {
+                expected: 5,
+                got: 3
+            }
+        ));
+        let err = fsim.good_blocks(&[vec![true; 3]]).unwrap_err();
         assert!(matches!(
             err,
             AtpgError::PatternWidth {

@@ -23,7 +23,9 @@ use modsoc_netlist::{Circuit, GateKind, NodeId, TestModel, TestPoint};
 
 use crate::error::AtpgError;
 use crate::fault::Fault;
-use crate::fault_sim::{active_mask, FaultSimulator};
+use crate::fault_sim::{
+    active_mask, block_active_mask, FaultSimulator, PackedWord, SimBlock, BLOCK_BITS,
+};
 use crate::pattern::{FillStrategy, TestSet};
 use crate::podem::{Podem, PodemOutcome};
 
@@ -531,6 +533,27 @@ fn tdf_mask(
     stuck_mask & init_mask & active
 }
 
+/// [`tdf_mask`] at block width: launch detection via the frame-2 stuck
+/// fault, gated by the frame-1 initialization value, per 512-pattern
+/// block.
+fn tdf_block_mask(
+    fsim: &mut FaultSimulator<'_>,
+    two: &TwoFrame,
+    tf: &TransitionFault,
+    good: &[SimBlock],
+    active: &SimBlock,
+) -> SimBlock {
+    let init = !tf.slow_to_rise;
+    let stuck = Fault {
+        site: crate::fault::FaultSite::Stem(two.frame2[tf.site.index()]),
+        stuck_at_one: init,
+    };
+    let stuck_mask = fsim.block_detection_mask(good, active, stuck);
+    let f1 = good[two.frame1[tf.site.index()].index()];
+    let init_mask = if init { f1 } else { f1.not() };
+    stuck_mask.and(init_mask).and(*active)
+}
+
 /// Fault-simulate a pattern set against the full TDF universe and return
 /// per-fault detection flags (reference/reporting path).
 ///
@@ -544,9 +567,30 @@ pub fn tdf_coverage(
     let faults = enumerate_transition_faults(&model.circuit);
     let two = unroll_two_frames(model)?;
     let mut fsim = FaultSimulator::new(&two.circuit)?;
-    let mut flags = Vec::with_capacity(faults.len());
-    for tf in &faults {
-        flags.push(tdf_detected(&mut fsim, &two, tf, patterns)?);
+    if crate::fault_sim::narrow_forced() {
+        let mut flags = Vec::with_capacity(faults.len());
+        for tf in &faults {
+            flags.push(tdf_detected(&mut fsim, &two, tf, patterns)?);
+        }
+        return Ok((faults, flags));
+    }
+    // Wide kernel: the two-frame good values are evaluated once per
+    // 512-pattern block and streamed against every still-undetected
+    // fault (blocks outer, faults inner — the same cache blocking as
+    // the stuck-at sweeps; the old path re-simulated the good circuit
+    // per fault per chunk).
+    let mut flags = vec![false; faults.len()];
+    for chunk in patterns.chunks(BLOCK_BITS) {
+        let (good, n) = fsim.good_blocks(chunk)?;
+        let active = block_active_mask(n);
+        for (flag, tf) in flags.iter_mut().zip(&faults) {
+            if *flag {
+                continue;
+            }
+            if !tdf_block_mask(&mut fsim, &two, tf, &good, &active).is_zero() {
+                *flag = true;
+            }
+        }
     }
     Ok((faults, flags))
 }

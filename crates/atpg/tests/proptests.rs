@@ -292,4 +292,47 @@ proptest! {
             prop_assert_eq!(&counts, &sharded, "width {} sharded", width);
         }
     }
+
+    #[test]
+    fn budgeted_masks_stay_inside_active_window(circuit in arb_circuit(), seed in any::<u64>()) {
+        // The budget-trip regression (word-boundary widths): a partial
+        // result returned mid-batch must still be confined to the active
+        // pattern window, and an untripped budget must change nothing.
+        use modsoc_atpg::budget::RunBudget;
+        use modsoc_atpg::fault_sim::active_mask;
+        let faults: Vec<Fault> = collapse_faults(&circuit).representatives().to_vec();
+        for width in [63usize, 64, 65] {
+            let patterns: Vec<Vec<bool>> = (0..width as u64)
+                .map(|k| {
+                    (0..circuit.input_count())
+                        .map(|i| (seed.rotate_left((k * 13 + i as u64) as u32)) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let mut fsim = FaultSimulator::new(&circuit).expect("fsim");
+            // The budgeted API takes one ≤64-pattern batch, so width 65
+            // exercises the caller-side chunking with a 1-pattern tail.
+            for chunk in patterns.chunks(64) {
+                let plain = fsim.detection_masks(chunk, &faults).expect("plain");
+                let open = RunBudget::unlimited();
+                let (unbudgeted, reason) = fsim
+                    .detection_masks_budgeted(chunk, &faults, &open)
+                    .expect("open");
+                prop_assert_eq!(reason, None, "width {}", width);
+                prop_assert_eq!(&unbudgeted, &plain, "width {} untripped", width);
+                let tripped = RunBudget::unlimited();
+                tripped.cancel();
+                let (partial, reason) = fsim
+                    .detection_masks_budgeted(chunk, &faults, &tripped)
+                    .expect("tripped");
+                prop_assert!(reason.is_some(), "width {} should trip", width);
+                let tail = active_mask(chunk.len());
+                for (m, full) in partial.iter().zip(&plain) {
+                    prop_assert_eq!(m & !tail, 0, "width {} leaked past window", width);
+                    // A partial mask only ever reports true detections.
+                    prop_assert_eq!(m & !full, 0, "width {} invented detections", width);
+                }
+            }
+        }
+    }
 }

@@ -9,14 +9,17 @@
 //! work got slower" from "the algorithm did different work".
 //!
 //! * `--json <path>` writes the measurements as a JSON document so
-//!   successive runs can be diffed; the checked-in `BENCH_pr3.json`
-//!   records the numbers at the time the incremental PODEM landed.
+//!   successive runs can be diffed; the checked-in `BENCH_pr7.json`
+//!   records the numbers at the time the wide-word fault-sim kernel
+//!   landed (`BENCH_pr3.json` is the older incremental-PODEM baseline).
 //! * `--check <baseline.json>` re-runs the benchmark and compares each
 //!   profile's phase times against the baseline document: any phase more
 //!   than `--tolerance` (default 0.25 = +25%) slower, or any drift in
 //!   the deterministic `patterns` count, is a regression and the process
-//!   exits nonzero. To re-baseline after an intentional perf change, run
-//!   with `--json BENCH_pr3.json` on a quiet machine and commit the file.
+//!   exits nonzero. Phase fields absent from a baseline row are skipped,
+//!   so old baselines keep working. To re-baseline after an intentional
+//!   perf change, run with `--json BENCH_pr7.json` on a quiet machine and
+//!   commit the file.
 //! * `--quick` drops the largest profile (for CI smoke runs).
 //! * `--repeat <n>` (default 3) measures each profile `n` times and keeps
 //!   the per-phase minimum — the robust estimator for a timing gate on a
@@ -30,6 +33,7 @@ use std::time::Instant;
 use modsoc_atpg::collapse::collapse_faults_with;
 use modsoc_atpg::engine::{Atpg, AtpgOptions};
 use modsoc_atpg::fault::Fault;
+use modsoc_atpg::fault_sim::{FaultSimulator, PackedWord};
 use modsoc_atpg::podem::{Podem, PodemOutcome};
 use modsoc_circuitgen::profile::iscas;
 use modsoc_circuitgen::{generate, CoreProfile};
@@ -46,6 +50,12 @@ struct PhaseRow {
     podem_sweep_ms: f64,
     podem_tests: usize,
     engine_ms: f64,
+    /// Wide-kernel fault-sim sweep (the engine's final filled patterns
+    /// against every collapsed representative) — the gated hot loop.
+    fault_sim_ms: f64,
+    /// The same sweep on the narrow 64-pattern reference path; reported
+    /// for the speedup ratio but never gated (it is the old code).
+    fault_sim_ref_ms: f64,
     patterns: usize,
     /// Deterministic engine counters for the full-engine run.
     engine_metrics: MetricsSnapshot,
@@ -87,6 +97,46 @@ fn measure(profile: &CoreProfile) -> Result<PhaseRow, Box<dyn std::error::Error>
     .run(&circuit)?;
     let engine_ms = ms(t);
 
+    // Fault-sim sweep: per-fault n-detect counts of the engine's final
+    // filled patterns over every collapsed representative — the
+    // full-matrix workload (no fault dropping) behind
+    // `AtpgResult::n_detect_counts` and the compaction/diagnosis
+    // matrices, where the narrow path must re-propagate every fault once
+    // per 64-pattern chunk. Measured once on the wide blocked kernel and
+    // once on the narrow reference; the counts must agree exactly, so
+    // the bench doubles as a differential oracle on real-sized profiles.
+    let filled = result.patterns.fill_all(result.fill);
+    let mut fsim = FaultSimulator::with_index(&model, Arc::clone(&index))?;
+    let t = Instant::now();
+    let mut wide_counts = vec![0u32; reps.len()];
+    for chunk in filled.chunks(modsoc_atpg::fault_sim::BLOCK_BITS) {
+        let (good, n) = fsim.good_blocks(chunk)?;
+        let active = modsoc_atpg::fault_sim::block_active_mask(n);
+        for (c, &f) in wide_counts.iter_mut().zip(&reps) {
+            *c += fsim.block_detection_mask(&good, &active, f).count_ones();
+        }
+    }
+    let fault_sim_ms = ms(t);
+
+    let t = Instant::now();
+    let mut narrow_counts = vec![0u32; reps.len()];
+    for chunk in filled.chunks(64) {
+        for (c, m) in narrow_counts
+            .iter_mut()
+            .zip(fsim.detection_masks(chunk, &reps)?)
+        {
+            *c += m.count_ones();
+        }
+    }
+    let fault_sim_ref_ms = ms(t);
+    if wide_counts != narrow_counts {
+        return Err(format!(
+            "profile {}: wide and narrow fault-sim kernels disagree",
+            profile.name
+        )
+        .into());
+    }
+
     Ok(PhaseRow {
         profile: profile.name.clone(),
         gates: model.node_count(),
@@ -96,6 +146,8 @@ fn measure(profile: &CoreProfile) -> Result<PhaseRow, Box<dyn std::error::Error>
         podem_sweep_ms,
         podem_tests,
         engine_ms,
+        fault_sim_ms,
+        fault_sim_ref_ms,
         patterns: result.pattern_count(),
         engine_metrics: sink.snapshot(),
     })
@@ -125,6 +177,8 @@ fn measure_best_of(
         best.collapse_ms = best.collapse_ms.min(next.collapse_ms);
         best.podem_sweep_ms = best.podem_sweep_ms.min(next.podem_sweep_ms);
         best.engine_ms = best.engine_ms.min(next.engine_ms);
+        best.fault_sim_ms = best.fault_sim_ms.min(next.fault_sim_ms);
+        best.fault_sim_ref_ms = best.fault_sim_ref_ms.min(next.fault_sim_ref_ms);
     }
     Ok(best)
 }
@@ -149,7 +203,8 @@ fn json_document(rows: &[PhaseRow]) -> String {
             out,
             "    {{\"profile\": \"{}\", \"gates\": {}, \"collapsed_faults\": {}, \
              \"index_ms\": {:.3}, \"collapse_ms\": {:.3}, \"podem_sweep_ms\": {:.3}, \
-             \"podem_tests\": {}, \"engine_ms\": {:.3}, \"patterns\": {}, \
+             \"podem_tests\": {}, \"engine_ms\": {:.3}, \"fault_sim_ms\": {:.3}, \
+             \"fault_sim_ref_ms\": {:.3}, \"patterns\": {}, \
              \"counters\": {{{counters}}}}}{sep}",
             r.profile,
             r.gates,
@@ -159,6 +214,8 @@ fn json_document(rows: &[PhaseRow]) -> String {
             r.podem_sweep_ms,
             r.podem_tests,
             r.engine_ms,
+            r.fault_sim_ms,
+            r.fault_sim_ref_ms,
             r.patterns,
         );
     }
@@ -166,8 +223,17 @@ fn json_document(rows: &[PhaseRow]) -> String {
     out
 }
 
-/// The phase-time fields a baseline row is compared on.
-const CHECKED_PHASES: [&str; 4] = ["index_ms", "collapse_ms", "podem_sweep_ms", "engine_ms"];
+/// The phase-time fields a baseline row is compared on. A field missing
+/// from a baseline row is skipped, so gating against a pre-`fault_sim_ms`
+/// baseline still works. `fault_sim_ref_ms` is deliberately not gated —
+/// it exists only to report the wide/narrow speedup ratio.
+const CHECKED_PHASES: [&str; 5] = [
+    "index_ms",
+    "collapse_ms",
+    "podem_sweep_ms",
+    "engine_ms",
+    "fault_sim_ms",
+];
 
 fn row_phase(row: &PhaseRow, field: &str) -> f64 {
     match field {
@@ -175,6 +241,7 @@ fn row_phase(row: &PhaseRow, field: &str) -> f64 {
         "collapse_ms" => row.collapse_ms,
         "podem_sweep_ms" => row.podem_sweep_ms,
         "engine_ms" => row.engine_ms,
+        "fault_sim_ms" => row.fault_sim_ms,
         _ => unreachable!("unknown checked phase field"),
     }
 }
@@ -287,10 +354,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut profiles = vec![iscas::s713(1), iscas::s1423(1)];
     if !quick {
         profiles.push(iscas::s13207(1));
+        profiles.push(iscas::s15850(1));
     }
     let mut rows = Vec::new();
     println!(
-        "{:<10} {:>7} {:>7} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "{:<10} {:>7} {:>7} {:>10} {:>12} {:>14} {:>10} {:>9} {:>9} {:>7} {:>10}",
         "profile",
         "gates",
         "faults",
@@ -298,12 +366,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "collapse ms",
         "podem ms",
         "engine ms",
+        "fsim ms",
+        "ref ms",
+        "x",
         "patterns"
     );
     for p in &profiles {
         let row = measure_best_of(p, repeat)?;
+        let speedup = if row.fault_sim_ms > 0.0 {
+            row.fault_sim_ref_ms / row.fault_sim_ms
+        } else {
+            0.0
+        };
         println!(
-            "{:<10} {:>7} {:>7} {:>10.3} {:>12.3} {:>14.1} {:>10.1} {:>10}",
+            "{:<10} {:>7} {:>7} {:>10.3} {:>12.3} {:>14.1} {:>10.1} {:>9.2} {:>9.2} {:>7.1} {:>10}",
             row.profile,
             row.gates,
             row.collapsed_faults,
@@ -311,6 +387,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.collapse_ms,
             row.podem_sweep_ms,
             row.engine_ms,
+            row.fault_sim_ms,
+            row.fault_sim_ref_ms,
+            speedup,
             row.patterns
         );
         rows.push(row);

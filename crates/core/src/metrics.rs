@@ -351,12 +351,19 @@ fn write_snapshot_sections(out: &mut String, depth: usize, snap: &MetricsSnapsho
         if i > 0 {
             out.push(',');
         }
+        // `saturated` is emitted only when set so ordinary reports keep
+        // their historical byte layout.
         let _ = write!(
             out,
-            "{{\"worker\": {}, \"claimed\": {}, \"busy_ms\": {}}}",
+            "{{\"worker\": {}, \"claimed\": {}, \"busy_ms\": {}{}}}",
             w.worker,
             w.claimed,
-            fmt_f64(w.busy_nanos as f64 / 1e6)
+            fmt_f64(w.busy_nanos as f64 / 1e6),
+            if w.saturated {
+                ", \"saturated\": true"
+            } else {
+                ""
+            }
         );
     }
     out.push_str("]}");
@@ -413,6 +420,10 @@ fn parse_snapshot(obj: &JsonValue) -> MetricsSnapshot {
                 claimed: w.get("claimed").and_then(JsonValue::as_u64).unwrap_or(0),
                 busy_nanos: (w.get("busy_ms").and_then(JsonValue::as_f64).unwrap_or(0.0) * 1e6)
                     .round() as u64,
+                saturated: w
+                    .get("saturated")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
             });
         }
     }

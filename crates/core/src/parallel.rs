@@ -134,8 +134,11 @@ impl WorkerPool {
             let start = sink.enabled().then(Instant::now);
             let out: Vec<T> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
             if let Some(start) = start {
-                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                sink.worker(0, items.len() as u64, nanos);
+                let (nanos, saturated) = match u64::try_from(start.elapsed().as_nanos()) {
+                    Ok(n) => (n, false),
+                    Err(_) => (u64::MAX, true),
+                };
+                sink.worker(0, items.len() as u64, nanos, saturated);
             }
             return out;
         }
@@ -152,6 +155,7 @@ impl WorkerPool {
                 scope.spawn(move || {
                     let mut claimed = 0u64;
                     let mut busy_nanos = 0u64;
+                    let mut saturated = false;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
@@ -161,16 +165,27 @@ impl WorkerPool {
                         let result = catch_unwind(AssertUnwindSafe(|| f(i, item)));
                         if let Some(start) = start {
                             claimed += 1;
-                            busy_nanos = busy_nanos.saturating_add(
-                                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                            );
+                            let job_nanos = match u64::try_from(start.elapsed().as_nanos()) {
+                                Ok(n) => n,
+                                Err(_) => {
+                                    saturated = true;
+                                    u64::MAX
+                                }
+                            };
+                            let (sum, overflow) = busy_nanos.overflowing_add(job_nanos);
+                            busy_nanos = if overflow {
+                                saturated = true;
+                                u64::MAX
+                            } else {
+                                sum
+                            };
                         }
                         if tx.send((i, result)).is_err() {
                             break; // receiver gone: scope is unwinding
                         }
                     }
                     if sink.enabled() {
-                        sink.worker(w, claimed, busy_nanos);
+                        sink.worker(w, claimed, busy_nanos, saturated);
                     }
                 });
             }

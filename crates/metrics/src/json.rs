@@ -59,6 +59,15 @@ impl JsonValue {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value, if this is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

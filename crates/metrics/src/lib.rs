@@ -294,9 +294,11 @@ pub trait MetricsSink: Send + Sync + std::fmt::Debug {
     fn time(&self, _phase: Phase, _nanos: u64) {}
 
     /// Record a worker/shard row: `claimed` jobs executed in `busy_nanos`
-    /// of wall time. Worker rows are *scheduling-dependent* and excluded
-    /// from the determinism contract.
-    fn worker(&self, _worker: usize, _claimed: u64, _busy_nanos: u64) {}
+    /// of wall time. `saturated` flags a `busy_nanos` that overflowed
+    /// `u64` and was clamped — consumers must treat the clamped value as
+    /// a floor, not a measurement. Worker rows are *scheduling-dependent*
+    /// and excluded from the determinism contract.
+    fn worker(&self, _worker: usize, _claimed: u64, _busy_nanos: u64, _saturated: bool) {}
 }
 
 /// The default sink: records nothing.
@@ -340,9 +342,9 @@ impl MetricsSink for TeeSink {
         }
     }
 
-    fn worker(&self, worker: usize, claimed: u64, busy_nanos: u64) {
+    fn worker(&self, worker: usize, claimed: u64, busy_nanos: u64, saturated: bool) {
         for s in &self.sinks {
-            s.worker(worker, claimed, busy_nanos);
+            s.worker(worker, claimed, busy_nanos, saturated);
         }
     }
 }
@@ -356,6 +358,9 @@ pub struct WorkerRow {
     pub claimed: u64,
     /// Wall time spent executing jobs, in nanoseconds.
     pub busy_nanos: u64,
+    /// Whether `busy_nanos` overflowed `u64` and was clamped to
+    /// `u64::MAX` — the value is then a floor, not a measurement.
+    pub saturated: bool,
 }
 
 /// The enabled sink: relaxed atomic counters and phase accumulators.
@@ -435,7 +440,7 @@ impl MetricsSink for RecordingSink {
         self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
     }
 
-    fn worker(&self, worker: usize, claimed: u64, busy_nanos: u64) {
+    fn worker(&self, worker: usize, claimed: u64, busy_nanos: u64, saturated: bool) {
         self.workers
             .lock()
             .expect("metrics worker lock is never poisoned")
@@ -443,6 +448,7 @@ impl MetricsSink for RecordingSink {
                 worker,
                 claimed,
                 busy_nanos,
+                saturated,
             });
     }
 }
@@ -607,7 +613,7 @@ mod tests {
         assert!(!sink.enabled());
         sink.add(Counter::PodemCalls, 5);
         sink.time(Phase::PodemPhase, 100);
-        sink.worker(0, 1, 1);
+        sink.worker(0, 1, 1, false);
         // Nothing observable — NullSink has no state to inspect, the test
         // is that none of this panics and the timer skips the clock.
         let t = PhaseTimer::start(&sink, Phase::IndexBuild);
@@ -621,7 +627,8 @@ mod tests {
         sink.add(Counter::PodemDecisions, 4);
         sink.time(Phase::PodemPhase, 1_000);
         sink.time(Phase::PodemPhase, 2_000);
-        sink.worker(1, 7, 500);
+        sink.worker(1, 7, 500, false);
+        sink.worker(2, 1, u64::MAX, true);
         let snap = sink.snapshot();
         assert_eq!(snap.counter(Counter::PodemDecisions), 7);
         assert_eq!(snap.counter(Counter::PodemBacktracks), 0);
@@ -629,11 +636,20 @@ mod tests {
         assert!((snap.phase_ms(Phase::PodemPhase) - 0.003).abs() < 1e-9);
         assert_eq!(
             snap.workers,
-            vec![WorkerRow {
-                worker: 1,
-                claimed: 7,
-                busy_nanos: 500
-            }]
+            vec![
+                WorkerRow {
+                    worker: 1,
+                    claimed: 7,
+                    busy_nanos: 500,
+                    saturated: false
+                },
+                WorkerRow {
+                    worker: 2,
+                    claimed: 1,
+                    busy_nanos: u64::MAX,
+                    saturated: true
+                }
+            ]
         );
     }
 
@@ -656,7 +672,7 @@ mod tests {
         let b_sink = RecordingSink::new();
         b_sink.add(Counter::PoolTasks, 3);
         b_sink.time(Phase::ModularDispatch, 99_999);
-        b_sink.worker(0, 3, 42);
+        b_sink.worker(0, 3, 42, false);
 
         let mut total = MetricsSnapshot::default();
         total.absorb(&a_sink.snapshot());

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::wide::PackedWord;
+
 /// The primitive cell library.
 ///
 /// This is the ISCAS'89 cell set: it is sufficient to express every
@@ -98,18 +100,56 @@ impl GateKind {
     /// inside this workspace always pass validated circuits).
     #[must_use]
     pub fn eval64(self, fanin: &[u64]) -> u64 {
+        self.eval_packed(fanin)
+    }
+
+    /// [`GateKind::eval64`] generalized over any [`PackedWord`] width:
+    /// the same fold instantiated for `u64` (64 slots) and
+    /// [`crate::wide::SimBlock`] (512 slots, autovectorizable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanin` is empty for a kind that requires fanins (callers
+    /// inside this workspace always pass validated circuits).
+    #[must_use]
+    pub fn eval_packed<W: PackedWord>(self, fanin: &[W]) -> W {
         match self {
-            GateKind::Input => fanin.first().copied().unwrap_or(0),
-            GateKind::Const0 => 0,
-            GateKind::Const1 => u64::MAX,
+            GateKind::Input => fanin.first().copied().unwrap_or(W::ZERO),
+            GateKind::Const0 => W::ZERO,
+            GateKind::Const1 => W::ONES,
             GateKind::Buf | GateKind::Dff => fanin[0],
-            GateKind::Not => !fanin[0],
-            GateKind::And => fanin.iter().fold(u64::MAX, |acc, &v| acc & v),
-            GateKind::Nand => !fanin.iter().fold(u64::MAX, |acc, &v| acc & v),
-            GateKind::Or => fanin.iter().fold(0, |acc, &v| acc | v),
-            GateKind::Nor => !fanin.iter().fold(0, |acc, &v| acc | v),
-            GateKind::Xor => fanin.iter().fold(0, |acc, &v| acc ^ v),
-            GateKind::Xnor => !fanin.iter().fold(0, |acc, &v| acc ^ v),
+            GateKind::Not => fanin[0].not(),
+            GateKind::And => fanin.iter().fold(W::ONES, |acc, &v| acc.and(v)),
+            GateKind::Nand => fanin.iter().fold(W::ONES, |acc, &v| acc.and(v)).not(),
+            GateKind::Or => fanin.iter().fold(W::ZERO, |acc, &v| acc.or(v)),
+            GateKind::Nor => fanin.iter().fold(W::ZERO, |acc, &v| acc.or(v)).not(),
+            GateKind::Xor => fanin.iter().fold(W::ZERO, |acc, &v| acc.xor(v)),
+            GateKind::Xnor => fanin.iter().fold(W::ZERO, |acc, &v| acc.xor(v)).not(),
+        }
+    }
+
+    /// [`GateKind::eval_packed`] over a fanin *iterator*: the same fold
+    /// without materializing a fanin slice. The fault-simulation kernel
+    /// uses this to stream overlay values straight into the accumulator
+    /// — at block width a buffered evaluation would zero-initialize and
+    /// copy kilobytes per gate.
+    ///
+    /// Kinds that require fanins evaluate the empty iterator as their
+    /// fold identity (matching `eval_packed` on an `Input` with no
+    /// slice) rather than panicking.
+    #[must_use]
+    pub fn eval_packed_iter<W: PackedWord, I: Iterator<Item = W>>(self, mut fanin: I) -> W {
+        match self {
+            GateKind::Input | GateKind::Buf | GateKind::Dff => fanin.next().unwrap_or(W::ZERO),
+            GateKind::Const0 => W::ZERO,
+            GateKind::Const1 => W::ONES,
+            GateKind::Not => fanin.next().unwrap_or(W::ZERO).not(),
+            GateKind::And => fanin.fold(W::ONES, |acc, v| acc.and(v)),
+            GateKind::Nand => fanin.fold(W::ONES, |acc, v| acc.and(v)).not(),
+            GateKind::Or => fanin.fold(W::ZERO, |acc, v| acc.or(v)),
+            GateKind::Nor => fanin.fold(W::ZERO, |acc, v| acc.or(v)).not(),
+            GateKind::Xor => fanin.fold(W::ZERO, |acc, v| acc.xor(v)),
+            GateKind::Xnor => fanin.fold(W::ZERO, |acc, v| acc.xor(v)).not(),
         }
     }
 

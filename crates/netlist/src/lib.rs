@@ -47,6 +47,7 @@ pub mod scan_chain;
 pub mod sim;
 pub mod stats;
 pub mod verilog;
+pub mod wide;
 pub mod wrapper;
 
 pub use canonical::canonical_bytes;
@@ -56,3 +57,4 @@ pub use gate::GateKind;
 pub use index::StructuralIndex;
 pub use scan::{TestModel, TestPoint};
 pub use stats::CircuitStats;
+pub use wide::{PackedWord, SimBlock, BLOCK_BITS, BLOCK_WORDS};

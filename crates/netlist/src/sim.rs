@@ -8,6 +8,7 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
+use crate::wide::PackedWord;
 
 /// A bit-parallel simulator bound to one (combinational) circuit.
 ///
@@ -76,17 +77,32 @@ impl Simulator {
     /// built for.
     #[must_use]
     pub fn run_on(&self, circuit: &Circuit, input_words: &[u64]) -> Vec<u64> {
+        self.run_packed_on(circuit, input_words)
+    }
+
+    /// [`Simulator::run_on`] generalized over any [`PackedWord`] width:
+    /// one topological sweep evaluates 64 (`u64`) or 512
+    /// ([`crate::wide::SimBlock`]) packed assignments per call. Values
+    /// are node-major — each node's whole block is contiguous — so the
+    /// wide instantiation streams cache lines instead of gathering
+    /// strided words.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::run_on`].
+    #[must_use]
+    pub fn run_packed_on<W: PackedWord>(&self, circuit: &Circuit, input_words: &[W]) -> Vec<W> {
         assert_eq!(
             input_words.len(),
             self.input_count,
             "one input word per primary input"
         );
         assert_eq!(circuit.node_count(), self.node_count, "circuit mismatch");
-        let mut values = vec![0u64; self.node_count];
+        let mut values = vec![W::ZERO; self.node_count];
         for (w, &pi) in input_words.iter().zip(circuit.inputs()) {
             values[pi.index()] = *w;
         }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        let mut fanin_buf: Vec<W> = Vec::with_capacity(8);
         for &id in &self.order {
             let node = circuit.node(id);
             match node.kind {
@@ -94,7 +110,7 @@ impl Simulator {
                 _ => {
                     fanin_buf.clear();
                     fanin_buf.extend(node.fanin.iter().map(|f| values[f.index()]));
-                    values[id.index()] = node.kind.eval64(&fanin_buf);
+                    values[id.index()] = node.kind.eval_packed(&fanin_buf);
                 }
             }
         }

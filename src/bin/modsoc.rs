@@ -676,12 +676,18 @@ fn loadgen_request(addr: &str, seed: u64, i: usize, salt: u64) -> LoadgenOutcome
     }
 }
 
+/// Nearest-rank percentile (milliseconds) over an ascending-sorted
+/// sample: the smallest value with at least `ceil(p * n)` observations
+/// at or below it. The previous interpolated-index rounding overshot on
+/// small samples (p50 of a 2-sample set returned the *larger* value;
+/// p99 of 99 samples skipped the true rank).
 fn percentile(sorted: &[Duration], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(n) - 1].as_secs_f64() * 1e3
 }
 
 /// Drive a running `modsoc serve` with a seeded mixed workload and
@@ -1253,4 +1259,56 @@ fn cmd_demo(args: &[String]) -> Result<RunStatus, String> {
         }
     }
     Ok(RunStatus::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+    use std::time::Duration;
+
+    fn ms(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_millis(v)).collect()
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.50), 0.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        let s = ms(&[7]);
+        assert_eq!(percentile(&s, 0.50), 7.0);
+        assert_eq!(percentile(&s, 0.90), 7.0);
+        assert_eq!(percentile(&s, 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_two_samples_median_is_lower() {
+        // Nearest rank: ceil(0.5 * 2) = 1 -> the first sample, not the
+        // second (the old rounding picked index 1 here).
+        let s = ms(&[10, 20]);
+        assert_eq!(percentile(&s, 0.50), 10.0);
+        assert_eq!(percentile(&s, 0.99), 20.0);
+    }
+
+    #[test]
+    fn percentile_n99_hits_true_ranks() {
+        let s = ms(&(1..=99).collect::<Vec<u64>>());
+        // ceil(0.5 * 99) = 50 -> 50 ms; ceil(0.9 * 99) = 90;
+        // ceil(0.99 * 99) = 99 -> the maximum (old code returned 98).
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.90), 90.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+    }
+
+    #[test]
+    fn percentile_n100_hits_true_ranks() {
+        let s = ms(&(1..=100).collect::<Vec<u64>>());
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.90), 90.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.00), 100.0);
+    }
 }

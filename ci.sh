@@ -5,12 +5,16 @@
 # failure.
 #
 # Opt-in extras:
-#   MODSOC_BENCH_GATE=1 ./ci.sh   also runs the perf-regression gate
-#                                 (atpg_phase_bench --check BENCH_pr7.json).
+#   MODSOC_BENCH_GATE=1 ./ci.sh   also runs the perf-regression gates:
+#                                 atpg_phase_bench --check BENCH_pr7.json
+#                                 for the engine, and loadgen --check
+#                                 BENCH_serve.json for serving throughput.
 #                                 Keep it off on noisy/shared machines; to
 #                                 re-baseline after an intentional perf
-#                                 change, run the bench with
-#                                 --json BENCH_pr7.json and commit the file.
+#                                 change, rerun with --json BENCH_pr7.json
+#                                 (engine) or --json BENCH_serve.json
+#                                 (serving, see DESIGN.md §15) and commit
+#                                 the refreshed file.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -156,6 +160,47 @@ grep -q "retry-after on all 503s: PASS" "$workdir/flood.txt" \
 kill -TERM "$serve2_pid"
 wait "$serve2_pid" \
   || { echo "FAIL: daemon did not exit 0 after SIGTERM"; exit 1; }
+
+echo "== serve keep-alive parity smoke (transport must never change bytes)"
+# One keep-alive + batching daemon serves the same seeded mixed workload
+# over both transports; the per-request response hashes must match line
+# for line, and the persistent client must actually reuse its sockets.
+ka_store="$workdir/ka_store"
+./target/release/modsoc serve --addr 127.0.0.1:0 --workers 2 --keep-alive --batch-max 4 \
+  --store "$ka_store" > "$workdir/serve3.log" 2>/dev/null &
+serve3_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$workdir/serve3.log" && break
+  sleep 0.1
+done
+serve3_addr="$(sed -n 's|.*http://||p' "$workdir/serve3.log")"
+[ -n "$serve3_addr" ] || { echo "FAIL: keep-alive serve did not report its address"; exit 1; }
+./target/release/modsoc loadgen --addr "$serve3_addr" --requests 48 --concurrency 8 --seed 20080310 \
+  --bodies-out "$workdir/bodies_close.txt" > /dev/null
+./target/release/modsoc loadgen --addr "$serve3_addr" --requests 48 --concurrency 8 --seed 20080310 \
+  --keep-alive --bodies-out "$workdir/bodies_ka.txt" > "$workdir/loadgen_ka.txt"
+diff "$workdir/bodies_close.txt" "$workdir/bodies_ka.txt" \
+  || { echo "FAIL: response bodies differ between close and keep-alive transports"; exit 1; }
+grep -q "zero-corruption check: PASS" "$workdir/loadgen_ka.txt" \
+  || { echo "FAIL: keep-alive loadgen corruption check"; cat "$workdir/loadgen_ka.txt"; exit 1; }
+grep -qE "keep-alive: 48 requests over [0-9]+ connections \([1-9][0-9]* reused\)" "$workdir/loadgen_ka.txt" \
+  || { echo "FAIL: keep-alive transport reported no socket reuse"; cat "$workdir/loadgen_ka.txt"; exit 1; }
+
+if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
+  echo "== serve throughput gate (loadgen --check BENCH_serve.json, 50% tolerance)"
+  # Warm-up pass first: the committed baseline was measured against a
+  # warm store, so the gate must be too.
+  ./target/release/modsoc loadgen --addr "$serve3_addr" --requests 128 --concurrency 2 \
+    --seed 20080310 --keep-alive > /dev/null
+  ./target/release/modsoc loadgen --addr "$serve3_addr" --requests 128 --concurrency 2 \
+    --seed 20080310 --keep-alive --label keepalive --check BENCH_serve.json --tolerance 0.5 \
+    | tail -3
+else
+  echo "== serve throughput gate skipped (set MODSOC_BENCH_GATE=1 to enable)"
+fi
+./target/release/modsoc loadgen --addr "$serve3_addr" --shutdown > /dev/null
+wait "$serve3_pid" \
+  || { echo "FAIL: keep-alive daemon did not exit 0 after POST /shutdown"; exit 1; }
 
 if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
   echo "== perf regression gate (atpg_phase_bench --check, +50% tolerance)"

@@ -135,6 +135,26 @@ impl ExperimentOptions {
         self
     }
 
+    /// Stable fingerprint of every field that influences *result bytes*.
+    ///
+    /// Two option sets with equal fingerprints produce byte-identical
+    /// reports for the same unit, so work keyed on different content
+    /// addresses but equal fingerprints may share one dispatch (the
+    /// serve layer's batch-compatibility test). Excluded by
+    /// construction: `jobs` (order-preserving merge), `fail_fast`
+    /// (latency-only), and the store fields (caching never changes
+    /// bytes).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "atpg={};tdv={:?};glue={};mono={}",
+            modsoc_atpg::options_fingerprint(&self.atpg),
+            self.tdv,
+            self.glue_patterns,
+            u8::from(self.monolithic),
+        )
+    }
+
     /// Run one engine job through the configured store (cache fetch +
     /// write-back), or directly when no store is attached. The single
     /// seam every experiment entry point funnels engine runs through, so

@@ -25,13 +25,34 @@
 //!   [`crate::runctl::guard`]; a panic is a `500` for that request and
 //!   the worker survives.
 //! * **Slow-client defense** — read/write timeouts on every connection;
-//!   a slowloris writer is dropped, not waited on.
+//!   a slowloris writer is dropped, not waited on. A keep-alive client
+//!   that stalls mid-request gets a clean `408` + close, never a
+//!   misparsed next request.
+//! * **Keep-alive** — with [`ServeConfig::keep_alive`], connections are
+//!   persistent HTTP/1.1: after each response the connection re-enters
+//!   the read queue until the idle timeout, the per-connection request
+//!   cap, a client `Connection: close`, or shutdown ends it. Pipelined
+//!   bytes are carried over between requests instead of being dropped.
+//! * **Priority lanes** — parsed requests land in one of two admission
+//!   lanes (`/experiment` = heavy, everything else = light) drained by
+//!   weighted round-robin with a deficit-token scheme
+//!   ([`ServeConfig::lane_weights`]), so cheap `/analyze` probes are
+//!   not starved behind long experiment runs. Lane depth and wait time
+//!   are exported through `/metrics`.
+//! * **Request batching** — with [`ServeConfig::batch_max`] > 1,
+//!   coalesce leaders for *distinct* experiment keys with the same
+//!   [`ExperimentOptions::fingerprint`] rendezvous for a short window
+//!   ([`ServeConfig::batch_window`]) and run as one [`WorkerPool`]
+//!   dispatch. Each batched unit runs with internal `jobs = 1`, which
+//!   the jobs-invariance contract makes byte-identical to any other
+//!   execution — batch composition can never change response bytes.
 //! * **Observability** — `GET /metrics` serves a live JSON snapshot of
-//!   the [`modsoc_metrics`] sink (queue depth, coalesce hits, shed
-//!   count, per-phase timings).
+//!   the [`modsoc_metrics`] sink (queue/lane depth, coalesce hits,
+//!   batch counts, shed count, per-phase timings).
 //! * **Graceful drain** — shutdown (SIGTERM/ctrl-c in the CLI, or
 //!   `POST /shutdown`) stops accepting, finishes queued work, and
-//!   returns; nothing is journaled half-written because every store
+//!   returns; idle keep-alive connections are closed instead of read
+//!   further, and nothing is journaled half-written because every store
 //!   write stays atomic + locked.
 //!
 //! # Endpoints
@@ -45,13 +66,15 @@
 //! | POST   | `/shutdown` | —                                      | 200     |
 //!
 //! Overload taxonomy: `400` malformed request, `404`/`405` wrong
-//! route/method, `413` body over the cap, `422` valid request the
-//! engine rejects, `500` isolated panic, `503` + `Retry-After` shed at
-//! admission, `504` deadline exhausted before anything was analyzable.
+//! route/method, `408` keep-alive request stalled past its deadline,
+//! `413` body over the cap, `422` valid request the engine rejects,
+//! `500` isolated panic, `503` + `Retry-After` shed at admission, `504`
+//! deadline exhausted before anything was analyzable.
 
 use crate::analysis::SocTdvAnalysis;
 use crate::campaign::{build_unit_netlist, unit_key, CampaignUnit};
 use crate::experiment::{run_soc_experiment_guarded, ExperimentOptions};
+use crate::parallel::WorkerPool;
 use crate::report::render_analyze_report;
 use crate::runctl::{guard, guard_result, CoreFailure};
 use crate::tdv::{core_tdv_checked, TdvOptions};
@@ -73,6 +96,14 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// How long the accept loop sleeps between polls of a quiet listener —
 /// also the latency bound on noticing a shutdown request.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// One slice of a worker's blocking read on a connection that has no
+/// complete request buffered yet. Short enough that an idle keep-alive
+/// connection never pins a worker for long; long enough that a
+/// ping-pong client's next request almost always lands inside the
+/// first slice (the read returns as soon as bytes arrive, not at the
+/// slice boundary).
+const READ_POLL: Duration = Duration::from_millis(15);
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -108,6 +139,28 @@ pub struct ServeConfig {
     pub store: Option<Arc<ResultStore>>,
     /// Whether store lookups are performed (`false` refreshes entries).
     pub store_read: bool,
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+    /// Off by default: one request per connection, `Connection: close`,
+    /// exactly the pre-keep-alive behavior.
+    pub keep_alive: bool,
+    /// Requests served on one connection before the server closes it
+    /// (bounds how long one client can monopolize worker attention).
+    pub keep_alive_max_requests: usize,
+    /// How long a keep-alive connection may sit with no request bytes
+    /// before the server closes it. Once a request has *started*
+    /// arriving, `read_timeout` governs instead.
+    pub idle_timeout: Duration,
+    /// Cap on experiment units fused into one pool dispatch. `1`
+    /// disables batching (every coalesce leader computes alone).
+    pub batch_max: usize,
+    /// How long a batch leader waits for compatible units to rendezvous
+    /// before dispatching whatever has arrived.
+    pub batch_window: Duration,
+    /// Weighted round-robin shares for the (light, heavy) admission
+    /// lanes when both are non-empty. `(4, 1)` = four light dispatches
+    /// per heavy one under contention; an empty lane never blocks the
+    /// other (work-conserving).
+    pub lane_weights: (u64, u64),
 }
 
 impl Default for ServeConfig {
@@ -125,6 +178,12 @@ impl Default for ServeConfig {
             jobs: 1,
             store: None,
             store_read: true,
+            keep_alive: false,
+            keep_alive_max_requests: 256,
+            idle_timeout: Duration::from_secs(2),
+            batch_max: 1,
+            batch_window: Duration::from_millis(3),
+            lane_weights: (4, 1),
         }
     }
 }
@@ -167,18 +226,118 @@ struct Flight {
     cv: Condvar,
 }
 
+/// Which admission lane a parsed request is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    /// Cheap control-plane traffic: `/analyze`, `/healthz`, `/metrics`,
+    /// `/shutdown`, errors.
+    Light,
+    /// `/experiment` — engine runs that can hold a worker for seconds.
+    Heavy,
+}
+
+/// One admitted connection between requests: the socket plus any bytes
+/// read past the previous request (pipelining carry-over) and the
+/// keep-alive bookkeeping.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// Requests already served on this connection.
+    served: usize,
+    /// When a connection with *no* request bytes pending is closed.
+    idle_deadline: Instant,
+    /// Once the first byte of a request has arrived: when the rest must
+    /// be complete (slowloris / stalled-body defense). `None` between
+    /// requests.
+    read_deadline: Option<Instant>,
+}
+
+/// A fully parsed request waiting in an admission lane for a worker.
+#[derive(Debug)]
+struct ComputeItem {
+    conn: Conn,
+    req: Request,
+    lane: Lane,
+    enqueued: Instant,
+}
+
+/// The scheduler state all workers share: connections waiting for
+/// request bytes plus the two parsed-request lanes and their
+/// round-robin tokens. One mutex keeps admission accounting exact.
+#[derive(Debug, Default)]
+struct Sched {
+    /// Connections awaiting (more of) a request: newly admitted and
+    /// recycled keep-alive sockets alike.
+    read_q: VecDeque<Conn>,
+    light: VecDeque<ComputeItem>,
+    heavy: VecDeque<ComputeItem>,
+    light_tokens: u64,
+    heavy_tokens: u64,
+}
+
+impl Sched {
+    /// Work not yet claimed by any worker — the quantity admission
+    /// control bounds with `queue_capacity`.
+    fn pending(&self) -> usize {
+        self.read_q.len() + self.light.len() + self.heavy.len()
+    }
+}
+
+/// One experiment enrolled for batch formation: the inputs a leader
+/// needs to run it plus the slot its response is published into.
+#[derive(Debug)]
+struct BatchJob {
+    unit: CampaignUnit,
+    options: ExperimentOptions,
+    timeout_ms: Option<u64>,
+    key_hex: String,
+    /// Batch-compatibility class ([`ExperimentOptions::fingerprint`]
+    /// of the *effective* options, `skip_monolithic` applied).
+    fingerprint: String,
+    slot: Arc<Mutex<Option<Response>>>,
+}
+
+/// Rendezvous point for batch formation. `forming` serializes *leader
+/// election* only — a formed batch computes outside the lock, so a new
+/// leader can collect the next batch while the previous one runs.
+#[derive(Debug, Default)]
+struct BatchState {
+    pending: Vec<BatchJob>,
+    forming: bool,
+}
+
 /// State shared between the accept loop, the workers and handles.
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
     sink: RecordingSink,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    sched: Mutex<Sched>,
+    sched_cv: Condvar,
     shutdown: AtomicBool,
     /// Connections admitted and not yet fully served.
     active: AtomicUsize,
     started: Instant,
     inflight: Mutex<HashMap<[u8; 32], Arc<Flight>>>,
+    batch: Mutex<BatchState>,
+    batch_cv: Condvar,
+    /// Heavy-lane requests a worker has claimed and not yet answered.
+    /// Batch leaders use it to decide whether a compatible companion
+    /// could still enroll — idle keep-alive connections sitting in the
+    /// read queue are invisible here, so serial traffic never waits
+    /// out the batch window for company that cannot come.
+    heavy_busy: AtomicUsize,
+}
+
+/// RAII decrement for [`Shared::heavy_busy`] — panic-safe, so a poisoned
+/// request can never permanently inflate the batch-prospect count.
+struct HeavyBusy<'a>(&'a AtomicUsize);
+
+impl Drop for HeavyBusy<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Lock that survives a poisoned mutex: a panicking holder is already
@@ -201,7 +360,8 @@ impl ServerHandle {
     /// make [`Server::run`] return. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
+        self.shared.sched_cv.notify_all();
+        self.shared.batch_cv.notify_all();
     }
 
     /// Whether a drain has been requested.
@@ -233,12 +393,15 @@ impl Server {
             shared: Arc::new(Shared {
                 config,
                 sink: RecordingSink::new(),
-                queue: Mutex::new(VecDeque::new()),
-                queue_cv: Condvar::new(),
+                sched: Mutex::new(Sched::default()),
+                sched_cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 started: Instant::now(),
                 inflight: Mutex::new(HashMap::new()),
+                batch: Mutex::new(BatchState::default()),
+                batch_cv: Condvar::new(),
+                heavy_busy: AtomicUsize::new(0),
             }),
         })
     }
@@ -287,23 +450,43 @@ impl Server {
                     Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
             }
-            shared.queue_cv.notify_all();
+            shared.sched_cv.notify_all();
+            shared.batch_cv.notify_all();
         });
         Ok(self.shared.sink.snapshot())
     }
 }
 
 /// Admission control: shed with 503 when the connection cap or the
-/// queue bound is hit, otherwise enqueue for a worker.
+/// pending-work bound is hit, otherwise enqueue for a worker. The
+/// bound counts everything no worker has claimed yet — connections
+/// awaiting bytes *and* parsed requests waiting in a lane — so a
+/// backlog parked in the lanes sheds exactly like one parked in the
+/// old single queue did.
 fn admit(shared: &Shared, stream: TcpStream) {
     let over_cap = shared.active.load(Ordering::SeqCst) >= shared.config.max_connections;
     if !over_cap {
-        let mut queue = lock_clean(&shared.queue);
-        if queue.len() < shared.config.queue_capacity {
+        let mut sched = lock_clean(&shared.sched);
+        if sched.pending() < shared.config.queue_capacity {
             shared.active.fetch_add(1, Ordering::SeqCst);
-            queue.push_back(stream);
-            drop(queue);
-            shared.queue_cv.notify_one();
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            // Persistent connections live or die by this: with Nagle
+            // on, the head/body write pair stalls behind delayed ACKs
+            // (~10-40ms per response). One-shot connections never saw
+            // it because their closing FIN flushed the last segment.
+            let _ = stream.set_nodelay(true);
+            sched.read_q.push_back(Conn {
+                stream,
+                buf: Vec::new(),
+                served: 0,
+                // A fresh connection gets the read timeout to produce
+                // its first request; only *recycled* keep-alive
+                // connections run on the idle clock.
+                idle_deadline: Instant::now() + shared.config.read_timeout,
+                read_deadline: None,
+            });
+            drop(sched);
+            shared.sched_cv.notify_one();
             return;
         }
     }
@@ -328,101 +511,412 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
         retry_after: Some(shared.config.retry_after_secs),
         ..Response::error(503, "server is at capacity, retry shortly")
     };
-    let _ = write_response(&mut stream, &resp);
+    let _ = write_response(&mut stream, &resp, false);
     drain_body(&mut stream);
 }
 
-/// One worker: claim queued connections until shutdown *and* the queue
-/// is drained (graceful shutdown finishes admitted work).
+/// What a worker pulled off the scheduler.
+#[derive(Debug)]
+enum Work {
+    /// A connection that needs (more of) a request read.
+    Read(Conn),
+    /// A parsed request ready to compute and answer.
+    Compute(ComputeItem),
+}
+
+/// What became of the connection a worker was handling.
+#[derive(Debug)]
+enum Disposition {
+    /// The connection went back into a scheduler queue.
+    Kept,
+    /// The connection is gone; the caller releases its `active` slot.
+    Closed,
+}
+
+/// One worker: interleave lane dispatch (weighted round-robin) with
+/// read polling until shutdown *and* every queue is drained (graceful
+/// shutdown finishes admitted work).
 fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = lock_clean(&shared.queue);
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break stream;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                let (q, _) = shared
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                queue = q;
-            }
-        };
+    while let Some(work) = next_work(shared) {
         // The outer guard is the worker's last line of defense: even a
         // panic outside the handler's own guard (e.g. in response
         // serialization) costs one connection, not the worker.
-        if guard(|| serve_connection(shared, stream)).is_err() {
-            shared.sink.add(Counter::ServePanics, 1);
+        let disposition = match work {
+            Work::Read(conn) => guard(|| handle_read(shared, conn)),
+            Work::Compute(item) => guard(|| handle_compute(shared, item)),
+        };
+        match disposition {
+            Ok(Disposition::Kept) => {}
+            Ok(Disposition::Closed) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                shared.sink.add(Counter::ServePanics, 1);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
         }
-        shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// Read, route, respond, close.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
-    let _t = PhaseTimer::start(&shared.sink, Phase::ServeRequest);
-    shared.sink.add(Counter::ServeRequests, 1);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(req) => route(shared, &req),
-        // The client vanished or stalled past the read timeout: there
-        // is nobody worth answering. Close and move on.
-        Err(ReadError::Disconnected | ReadError::Stalled) => return,
-        Err(ReadError::TooLarge) => {
-            // Drain what the client is still sending before answering,
-            // or a client mid-`write` sees a reset instead of the 413.
-            // Bounded by `DRAIN_LIMIT` and the read timeout.
-            drain_body(&mut stream);
-            Response::error(413, "request body exceeds the size cap")
+/// Claim the next unit of work: lane items first (through the weighted
+/// round-robin), then a connection to read. Returns `None` only when
+/// shutdown is requested and nothing is left to drain.
+fn next_work(shared: &Shared) -> Option<Work> {
+    let mut sched = lock_clean(&shared.sched);
+    loop {
+        if let Some(item) = pick_lane(&mut sched, shared.config.lane_weights) {
+            return Some(Work::Compute(item));
         }
-        Err(ReadError::Malformed) => Response::error(400, "malformed HTTP request"),
-    };
-    let _ = write_response(&mut stream, &response);
+        if let Some(conn) = sched.read_q.pop_front() {
+            return Some(Work::Read(conn));
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (s, _) = shared
+            .sched_cv
+            .wait_timeout(sched, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        sched = s;
+    }
 }
 
-/// A parsed request: method, path, body.
+/// Weighted round-robin with refilling tokens: when both lanes hold
+/// work, dispatches split `light:heavy = lane_weights`; an empty lane
+/// cedes its turn (never the whole scheduler) to the other.
+fn pick_lane(sched: &mut Sched, weights: (u64, u64)) -> Option<ComputeItem> {
+    if sched.light.is_empty() && sched.heavy.is_empty() {
+        return None;
+    }
+    if sched.light_tokens == 0 && sched.heavy_tokens == 0 {
+        sched.light_tokens = weights.0.max(1);
+        sched.heavy_tokens = weights.1.max(1);
+    }
+    if !sched.light.is_empty() && (sched.light_tokens > 0 || sched.heavy.is_empty()) {
+        sched.light_tokens = sched.light_tokens.saturating_sub(1);
+        return sched.light.pop_front();
+    }
+    sched.heavy_tokens = sched.heavy_tokens.saturating_sub(1);
+    sched.heavy.pop_front()
+}
+
+/// Push a connection back into the read queue and wake a worker.
+fn requeue(shared: &Shared, conn: Conn) -> Disposition {
+    let mut sched = lock_clean(&shared.sched);
+    sched.read_q.push_back(conn);
+    drop(sched);
+    shared.sched_cv.notify_one();
+    Disposition::Kept
+}
+
+/// Recycle a keep-alive connection after answering one request: bump
+/// the served count, rearm the idle clock, and rejoin the read queue.
+/// Carried-over pipelined bytes run on the read (not idle) clock.
+fn recycle(shared: &Shared, mut conn: Conn) -> Disposition {
+    conn.served += 1;
+    let now = Instant::now();
+    conn.idle_deadline = now + shared.config.idle_timeout;
+    conn.read_deadline = if conn.buf.is_empty() {
+        None
+    } else {
+        Some(now + shared.config.read_timeout)
+    };
+    requeue(shared, conn)
+}
+
+/// Whether the connection may serve another request after this one.
+fn may_keep_alive(shared: &Shared, conn: &Conn, client_close: bool) -> bool {
+    shared.config.keep_alive
+        && !client_close
+        && !shared.shutdown.load(Ordering::SeqCst)
+        && conn.served + 1 < shared.config.keep_alive_max_requests.max(1)
+}
+
+/// Answer a request that failed in the read path (400/408/413-unframed)
+/// and close: after these the byte stream can no longer be trusted to
+/// be request-aligned, so keep-alive never continues past them.
+fn fail_and_close(shared: &Shared, conn: &mut Conn, resp: &Response) -> Disposition {
+    shared.sink.add(Counter::ServeRequests, 1);
+    let _ = write_response(&mut conn.stream, resp, false);
+    Disposition::Closed
+}
+
+/// Progress one connection toward a parsed request: consume buffered
+/// bytes first (pipelining carry-over), then poll the socket in
+/// [`READ_POLL`] slices so an idle keep-alive connection never pins a
+/// worker. A connection that stalls mid-request past its deadline gets
+/// a clean `408` + close — its late bytes can never be misparsed as a
+/// fresh request line.
+fn handle_read(shared: &Shared, mut conn: Conn) -> Disposition {
+    loop {
+        match try_parse(&conn.buf, shared.config.max_body_bytes) {
+            TryParse::Complete(req, consumed) => {
+                conn.buf.drain(..consumed);
+                return dispatch(shared, conn, req);
+            }
+            TryParse::Oversized {
+                head_end,
+                content_length,
+                close,
+            } => {
+                return handle_oversized(shared, conn, head_end, content_length, close);
+            }
+            TryParse::Malformed => {
+                let resp = Response::error(400, "malformed HTTP request");
+                return fail_and_close(shared, &mut conn, &resp);
+            }
+            TryParse::HeadTooBig => {
+                drain_body(&mut conn.stream);
+                let resp = Response::error(413, "request head exceeds the size cap");
+                return fail_and_close(shared, &mut conn, &resp);
+            }
+            TryParse::Incomplete => {}
+        }
+        // Draining for shutdown: a connection *between* requests is not
+        // admitted work — close it instead of reading further.
+        if shared.shutdown.load(Ordering::SeqCst) && conn.buf.is_empty() {
+            return Disposition::Closed;
+        }
+        let _ = conn.stream.set_read_timeout(Some(READ_POLL));
+        let mut tmp = [0u8; 4096];
+        match conn.stream.read(&mut tmp) {
+            // Clean EOF: the client is done with this connection.
+            Ok(0) => return Disposition::Closed,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&tmp[..n]);
+                if conn.read_deadline.is_none() {
+                    conn.read_deadline = Some(Instant::now() + shared.config.read_timeout);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let now = Instant::now();
+                if conn.buf.is_empty() && conn.read_deadline.is_none() {
+                    if now >= conn.idle_deadline {
+                        // Idle timeout with nothing buffered: silent
+                        // close, exactly what an idle peer expects.
+                        return Disposition::Closed;
+                    }
+                } else if now >= conn.read_deadline.unwrap_or(conn.idle_deadline) {
+                    // A request started arriving and then stalled past
+                    // its deadline (e.g. a body sent after the idle
+                    // timeout fired). Answer 408 and close.
+                    shared.sink.add(Counter::ServeRequestTimeouts, 1);
+                    let resp = Response::error(408, "request timed out before it was complete");
+                    return fail_and_close(shared, &mut conn, &resp);
+                }
+                // Deadline not reached: yield the worker and requeue.
+                return requeue(shared, conn);
+            }
+            Err(_) => return Disposition::Closed,
+        }
+    }
+}
+
+/// Route a parsed request into its admission lane.
+fn dispatch(shared: &Shared, mut conn: Conn, req: Request) -> Disposition {
+    let now = Instant::now();
+    conn.read_deadline = if conn.buf.is_empty() {
+        None
+    } else {
+        // A pipelined next request is already (partially) buffered:
+        // keep it on the read clock.
+        Some(now + shared.config.read_timeout)
+    };
+    let lane = if req.path == "/experiment" {
+        Lane::Heavy
+    } else {
+        Lane::Light
+    };
+    shared.sink.add(
+        match lane {
+            Lane::Light => Counter::ServeLaneLight,
+            Lane::Heavy => Counter::ServeLaneHeavy,
+        },
+        1,
+    );
+    let item = ComputeItem {
+        conn,
+        req,
+        lane,
+        enqueued: now,
+    };
+    let mut sched = lock_clean(&shared.sched);
+    match lane {
+        Lane::Light => sched.light.push_back(item),
+        Lane::Heavy => sched.heavy.push_back(item),
+    }
+    drop(sched);
+    shared.sched_cv.notify_one();
+    Disposition::Kept
+}
+
+/// Compute and answer one parsed request, then recycle or close the
+/// connection per the keep-alive rules.
+fn handle_compute(shared: &Shared, item: ComputeItem) -> Disposition {
+    let ComputeItem {
+        mut conn,
+        req,
+        lane,
+        enqueued,
+    } = item;
+    let wait = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.sink.time(
+        match lane {
+            Lane::Light => Phase::ServeWaitLight,
+            Lane::Heavy => Phase::ServeWaitHeavy,
+        },
+        wait,
+    );
+    shared.sink.add(Counter::ServeRequests, 1);
+    if conn.served > 0 {
+        shared.sink.add(Counter::ServeKeepAliveReuses, 1);
+    }
+    let response = {
+        let _busy = matches!(lane, Lane::Heavy).then(|| {
+            shared.heavy_busy.fetch_add(1, Ordering::SeqCst);
+            HeavyBusy(&shared.heavy_busy)
+        });
+        let _t = PhaseTimer::start(&shared.sink, Phase::ServeRequest);
+        route(shared, &req)
+    };
+    let keep = may_keep_alive(shared, &conn, req.close);
+    if write_response(&mut conn.stream, &response, keep).is_err() || !keep {
+        return Disposition::Closed;
+    }
+    recycle(shared, conn)
+}
+
+/// Reject an over-cap body while keeping the byte stream framed: the
+/// announced body is read and discarded so that (under keep-alive) the
+/// next request starts exactly at the next byte. An unframeable drain
+/// (no bytes coming, or a body past [`DRAIN_LIMIT`]) closes instead.
+fn handle_oversized(
+    shared: &Shared,
+    mut conn: Conn,
+    head_end: usize,
+    content_length: usize,
+    close: bool,
+) -> Disposition {
+    shared.sink.add(Counter::ServeRequests, 1);
+    let body_start = head_end + 4;
+    let have = conn
+        .buf
+        .len()
+        .saturating_sub(body_start)
+        .min(content_length);
+    conn.buf.drain(..body_start + have);
+    let framed = drain_exact(
+        &mut conn.stream,
+        content_length - have,
+        shared.config.read_timeout,
+    );
+    let keep = framed && may_keep_alive(shared, &conn, close);
+    let resp = Response::error(413, "request body exceeds the size cap");
+    if write_response(&mut conn.stream, &resp, keep).is_err() || !keep {
+        return Disposition::Closed;
+    }
+    recycle(shared, conn)
+}
+
+/// A parsed request: method, path, body, and whether the client asked
+/// to close the connection after the response.
 #[derive(Debug)]
 struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    close: bool,
 }
 
+/// Outcome of trying to parse one request out of a connection buffer.
 #[derive(Debug)]
-enum ReadError {
-    /// Peer closed or reset before a full request arrived.
-    Disconnected,
-    /// Read timeout expired mid-request (slowloris defense).
-    Stalled,
-    /// Body (or head) over the configured cap.
-    TooLarge,
+enum TryParse {
+    /// A full request plus how many buffer bytes it consumed.
+    Complete(Request, usize),
+    /// Valid so far; more bytes needed.
+    Incomplete,
+    /// Head parsed but the announced body exceeds the cap: the caller
+    /// can still drain `content_length` bytes to stay framed.
+    Oversized {
+        head_end: usize,
+        content_length: usize,
+        close: bool,
+    },
+    /// Request line + headers exceed [`MAX_HEAD_BYTES`].
+    HeadTooBig,
     /// Not parseable as HTTP/1.1.
     Malformed,
 }
 
-fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(), ReadError> {
-    let mut tmp = [0u8; 4096];
-    match stream.read(&mut tmp) {
-        Ok(0) => Err(ReadError::Disconnected),
-        Ok(n) => {
-            buf.extend_from_slice(&tmp[..n]);
-            Ok(())
+/// Parse one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body) from the front of `buf` without consuming it.
+fn try_parse(buf: &[u8], max_body: usize) -> TryParse {
+    let Some(head_end) = find_blank_line(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return TryParse::HeadTooBig;
         }
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            Err(ReadError::Stalled)
-        }
-        Err(_) => Err(ReadError::Disconnected),
+        return TryParse::Incomplete;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return TryParse::Malformed;
+    };
+    let mut lines = head.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return TryParse::Malformed;
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let Some(method) = parts.next() else {
+        return TryParse::Malformed;
+    };
+    let Some(path) = parts.next() else {
+        return TryParse::Malformed;
+    };
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return TryParse::Malformed,
     }
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let Ok(v) = value.trim().parse::<usize>() else {
+                    return TryParse::Malformed;
+                };
+                content_length = v;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    if content_length > max_body {
+        return TryParse::Oversized {
+            head_end,
+            content_length,
+            close,
+        };
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return TryParse::Incomplete;
+    }
+    TryParse::Complete(
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: buf[head_end + 4..total].to_vec(),
+            close,
+        },
+        total,
+    )
 }
 
 /// Cap on how much of a rejected oversized body the server reads and
@@ -448,60 +942,31 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Read one HTTP/1.1 request (request line, headers, `Content-Length`
-/// body) with hard caps on head and body size.
-fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
-    let mut buf = Vec::new();
-    let head_end = loop {
-        if let Some(pos) = find_blank_line(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(ReadError::TooLarge);
-        }
-        read_some(stream, &mut buf)?;
-    };
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| ReadError::Malformed)?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or(ReadError::Malformed)?;
-    let mut parts = request_line.split_ascii_whitespace();
-    let method = parts.next().ok_or(ReadError::Malformed)?.to_string();
-    let path = parts.next().ok_or(ReadError::Malformed)?.to_string();
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
-        _ => return Err(ReadError::Malformed),
+/// Discard exactly `need` more bytes of a rejected request body so the
+/// connection stays request-aligned (keep-alive can continue past a
+/// 413). Returns `false` — meaning the connection must close — when
+/// the peer stops sending, the read timeout expires, or the announced
+/// body exceeds [`DRAIN_LIMIT`] (then the unframed best-effort drain
+/// runs instead, matching the one-shot behavior).
+fn drain_exact(stream: &mut TcpStream, mut need: usize, read_timeout: Duration) -> bool {
+    if need > DRAIN_LIMIT {
+        drain_body(stream);
+        return false;
     }
-    let mut content_length = 0usize;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse::<usize>()
-                    .map_err(|_| ReadError::Malformed)?;
-            }
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let deadline = Instant::now() + read_timeout;
+    let mut tmp = [0u8; 8192];
+    while need > 0 {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        let want = tmp.len().min(need);
+        match stream.read(&mut tmp[..want]) {
+            Ok(0) | Err(_) => return false,
+            Ok(n) => need -= n,
         }
     }
-    if content_length > max_body {
-        return Err(ReadError::TooLarge);
-    }
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        // Pipelined extra bytes: ignore them, this server is
-        // one-request-per-connection.
-        body.truncate(content_length);
-    }
-    while body.len() < content_length {
-        let before = body.len();
-        read_some(stream, &mut body)?;
-        if body.len() == before {
-            return Err(ReadError::Disconnected);
-        }
-        if body.len() > content_length {
-            body.truncate(content_length);
-        }
-    }
-    Ok(Request { method, path, body })
+    true
 }
 
 fn status_text(status: u16) -> &'static str {
@@ -510,6 +975,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -519,13 +985,14 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
-        resp.body.len()
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
@@ -548,7 +1015,8 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("GET", "/metrics") => metrics_response(shared),
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
+            shared.sched_cv.notify_all();
+            shared.batch_cv.notify_all();
             Response::json(
                 200,
                 JsonValue::Object(vec![(
@@ -599,6 +1067,16 @@ fn metrics_response(shared: &Shared) -> Response {
             })
             .collect(),
     );
+    let (read_depth, light_depth, heavy_depth) = {
+        let sched = lock_clean(&shared.sched);
+        (sched.read_q.len(), sched.light.len(), sched.heavy.len())
+    };
+    let lane = |depth: usize, weight: u64| {
+        JsonValue::Object(vec![
+            ("depth".to_string(), JsonValue::Number(depth as f64)),
+            ("weight".to_string(), JsonValue::Number(weight as f64)),
+        ])
+    };
     let mut fields = vec![
         ("schema".to_string(), JsonValue::Number(1.0)),
         (
@@ -607,7 +1085,24 @@ fn metrics_response(shared: &Shared) -> Response {
         ),
         (
             "queue_depth".to_string(),
-            JsonValue::Number(lock_clean(&shared.queue).len() as f64),
+            JsonValue::Number((read_depth + light_depth + heavy_depth) as f64),
+        ),
+        (
+            "read_depth".to_string(),
+            JsonValue::Number(read_depth as f64),
+        ),
+        (
+            "lanes".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "light".to_string(),
+                    lane(light_depth, shared.config.lane_weights.0),
+                ),
+                (
+                    "heavy".to_string(),
+                    lane(heavy_depth, shared.config.lane_weights.1),
+                ),
+            ]),
         ),
         (
             "queue_capacity".to_string(),
@@ -769,8 +1264,27 @@ fn handle_experiment(shared: &Shared, body: &[u8]) -> Response {
     };
     let options = experiment_options(shared);
     let key = unit_key(&unit, &options);
+    // The *effective* options (skip_monolithic applied) define batch
+    // compatibility: units whose fingerprints match produce bytes
+    // independent of who they share a dispatch with.
+    let mut effective = options;
+    if unit.skip_monolithic {
+        effective.monolithic = false;
+    }
+    let fingerprint = effective.fingerprint();
+    let key_hex = key.hex();
     coalesce(shared, key.0, || {
-        compute_experiment(shared, &unit, &options, timeout_ms, &key.hex())
+        batch_or_compute(
+            shared,
+            BatchJob {
+                unit,
+                options: effective,
+                timeout_ms,
+                key_hex,
+                fingerprint,
+                slot: Arc::new(Mutex::new(None)),
+            },
+        )
     })
 }
 
@@ -844,6 +1358,146 @@ fn coalesce(shared: &Shared, key: [u8; 32], compute: impl FnOnce() -> Response) 
             .wait_timeout(done, Duration::from_millis(50))
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         done = d;
+    }
+}
+
+/// Batching entry point for a coalesce leader: with batching disabled
+/// (`batch_max <= 1`) compute directly; otherwise enroll the job at
+/// the batch rendezvous and either *lead* a batch (collect compatible
+/// jobs for up to [`ServeConfig::batch_window`], run them as one pool
+/// dispatch) or wait for another leader to fill this job's slot.
+///
+/// `forming` serializes leader election only — a formed batch computes
+/// outside the lock, so collection of the next batch overlaps the
+/// previous batch's run.
+fn batch_or_compute(shared: &Shared, job: BatchJob) -> Response {
+    if shared.config.batch_max <= 1 {
+        return compute_experiment(
+            shared,
+            &job.unit,
+            &job.options,
+            job.timeout_ms,
+            &job.key_hex,
+        );
+    }
+    let slot = Arc::clone(&job.slot);
+    {
+        let mut batch = lock_clean(&shared.batch);
+        batch.pending.push(job);
+    }
+    shared.batch_cv.notify_all();
+    let deadline =
+        Instant::now() + Duration::from_millis(shared.config.max_request_ms.saturating_mul(2));
+    let mut state = lock_clean(&shared.batch);
+    loop {
+        if let Some(response) = lock_clean(&slot).clone() {
+            return response;
+        }
+        if !state.forming {
+            state.forming = true;
+            let formed = collect_batch(shared, state);
+            if !formed.is_empty() {
+                run_batch(shared, &formed);
+                shared.batch_cv.notify_all();
+            }
+            // This leader's own job may have been claimed by a batch
+            // another leader formed earlier; loop to re-check the slot.
+            state = lock_clean(&shared.batch);
+            continue;
+        }
+        if Instant::now() >= deadline {
+            shared.sink.add(Counter::ServeDeadlineTrips, 1);
+            return Response::error(504, "batched computation did not finish in time");
+        }
+        let (s, _) = shared
+            .batch_cv
+            .wait_timeout(state, Duration::from_millis(20))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state = s;
+    }
+}
+
+/// Collect one batch: wait (bounded by the batch window) for up to
+/// `batch_max` jobs compatible with the oldest pending job, then
+/// extract them. Consumes the guard; `forming` is reset before return.
+fn collect_batch(shared: &Shared, mut state: MutexGuard<'_, BatchState>) -> Vec<BatchJob> {
+    let max = shared.config.batch_max;
+    let until = Instant::now() + shared.config.batch_window;
+    while let Some(class) = state.pending.first().map(|j| j.fingerprint.clone()) {
+        let compatible = state
+            .pending
+            .iter()
+            .filter(|j| j.fingerprint == class)
+            .count();
+        if compatible >= max || Instant::now() >= until || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // The window is only worth paying when a companion could still
+        // arrive: a heavy item queued in its lane, or one claimed by
+        // another worker that has not enrolled here yet (coalesce
+        // followers overcount this — a bounded wait, never a stall).
+        // Serial traffic sees zero prospects and skips the window, so
+        // a lone request never trades latency for a batch of one.
+        let queued = lock_clean(&shared.sched).heavy.len();
+        let unenrolled = shared
+            .heavy_busy
+            .load(Ordering::SeqCst)
+            .saturating_sub(state.pending.len());
+        if queued + unenrolled == 0 {
+            break;
+        }
+        let (s, _) = shared
+            .batch_cv
+            .wait_timeout(state, Duration::from_millis(1))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state = s;
+    }
+    let mut formed = Vec::new();
+    if let Some(class) = state.pending.first().map(|j| j.fingerprint.clone()) {
+        let mut i = 0;
+        while i < state.pending.len() && formed.len() < max {
+            if state.pending[i].fingerprint == class {
+                formed.push(state.pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    state.forming = false;
+    drop(state);
+    shared.batch_cv.notify_all();
+    formed
+}
+
+/// Run one formed batch and publish each job's response into its slot.
+/// A singleton batch runs exactly like the unbatched path (full
+/// per-request `jobs`); a real batch fans the units across one
+/// [`WorkerPool`] dispatch with internal `jobs = 1` per unit — the
+/// jobs-invariance contract keeps every response byte-identical to its
+/// solo execution, whatever the batch composition.
+fn run_batch(shared: &Shared, formed: &[BatchJob]) {
+    shared.sink.add(Counter::ServeBatches, 1);
+    shared
+        .sink
+        .add(Counter::ServeBatchedUnits, formed.len() as u64);
+    let responses: Vec<Response> = if formed.len() == 1 {
+        let job = &formed[0];
+        vec![compute_experiment(
+            shared,
+            &job.unit,
+            &job.options,
+            job.timeout_ms,
+            &job.key_hex,
+        )]
+    } else {
+        WorkerPool::new(shared.config.jobs).map(formed, |_, job| {
+            let mut options = job.options.clone();
+            options.jobs = 1;
+            compute_experiment(shared, &job.unit, &options, job.timeout_ms, &job.key_hex)
+        })
+    };
+    for (job, response) in formed.iter().zip(responses) {
+        *lock_clean(&job.slot) = Some(response);
     }
 }
 
@@ -976,6 +1630,7 @@ pub fn http_request(
     let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -991,14 +1646,9 @@ pub fn http_request(
     parse_http_response(&raw)
 }
 
-fn parse_http_response(raw: &[u8]) -> io::Result<HttpResponse> {
+/// Parse a response head (status line + headers, no terminator).
+fn parse_response_head(head: &str) -> io::Result<(u16, Vec<(String, String)>)> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("response has no header terminator"))?;
-    let head =
-        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
     let status = status_line
@@ -1012,10 +1662,195 @@ fn parse_http_response(raw: &[u8]) -> io::Result<HttpResponse> {
                 .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         })
         .collect();
+    Ok((status, headers))
+}
+
+fn parse_http_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let (status, headers) = parse_response_head(head)?;
     Ok(HttpResponse {
         status,
         headers,
         body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// A persistent HTTP/1.1 client: issues many requests over one socket
+/// (`Connection: keep-alive`), reconnecting at most once per request
+/// when a reused socket turns out dead (the server may have idle-closed
+/// it between requests). Tracks reuse statistics for `modsoc loadgen`.
+///
+/// Responses are framed by `Content-Length` (the server always sends
+/// one); a response without it is read to EOF and the connection is
+/// retired, as is any response carrying `Connection: close`.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+    requests: u64,
+    connects: u64,
+    reused: u64,
+}
+
+impl HttpClient {
+    /// Build a client for `addr` (connects lazily on first request).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an unparseable address.
+    pub fn new(addr: &str, timeout: Duration) -> io::Result<HttpClient> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+        Ok(HttpClient {
+            addr,
+            timeout,
+            stream: None,
+            carry: Vec::new(),
+            requests: 0,
+            connects: 0,
+            reused: 0,
+        })
+    }
+
+    /// Requests issued, sockets opened, and requests served on a
+    /// reused socket, in that order.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.requests, self.connects, self.reused)
+    }
+
+    /// Issue one request over the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures after the single
+    /// stale-socket retry; malformed responses are
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        self.requests += 1;
+        let mut reusing = self.stream.is_some();
+        loop {
+            if self.stream.is_none() {
+                let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+                stream.set_read_timeout(Some(self.timeout))?;
+                stream.set_write_timeout(Some(self.timeout))?;
+                stream.set_nodelay(true)?;
+                self.stream = Some(stream);
+                self.carry.clear();
+                self.connects += 1;
+            }
+            let stream = self.stream.as_mut().expect("connected above");
+            match client_roundtrip(stream, &mut self.carry, &self.addr, method, path, body) {
+                Ok(resp) => {
+                    if reusing {
+                        self.reused += 1;
+                    }
+                    if resp.header("connection") == Some("close")
+                        || resp.header("content-length").is_none()
+                    {
+                        self.stream = None;
+                        self.carry.clear();
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.stream = None;
+                    self.carry.clear();
+                    // A dead reused socket is expected (server-side
+                    // idle close raced our send): retry once, fresh.
+                    if reusing {
+                        reusing = false;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// One request/response exchange on an established keep-alive socket.
+/// `carry` holds bytes read past the previous response; leftovers past
+/// this response stay in it.
+fn client_roundtrip(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let eof = || {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )
+    };
+    let mut tmp = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(carry) {
+            break pos;
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(bad("response head too large"));
+        }
+        match stream.read(&mut tmp)? {
+            0 => return Err(eof()),
+            n => carry.extend_from_slice(&tmp[..n]),
+        }
+    };
+    let head_text =
+        std::str::from_utf8(&carry[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let (status, headers) = parse_response_head(head_text)?;
+    carry.drain(..head_end + 4);
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let body = match content_length {
+        Some(len) => {
+            while carry.len() < len {
+                match stream.read(&mut tmp)? {
+                    0 => return Err(eof()),
+                    n => carry.extend_from_slice(&tmp[..n]),
+                }
+            }
+            carry.drain(..len).collect()
+        }
+        None => {
+            // No framing: read to EOF; the caller retires the socket.
+            let mut rest = std::mem::take(carry);
+            stream.read_to_end(&mut rest)?;
+            rest
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
     })
 }
 
@@ -1181,5 +2016,98 @@ mod tests {
         assert_eq!(raw.header("Content-Type"), Some("a"));
         assert_eq!(raw.body_text(), "hi");
         assert!(parse_http_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_socket_across_requests() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 2,
+            keep_alive: true,
+            ..ServeConfig::default()
+        });
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5)).unwrap();
+        for _ in 0..4 {
+            let resp = client.request("GET", "/healthz", None).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.header("connection"), Some("keep-alive"));
+        }
+        let (requests, connects, reused) = client.stats();
+        assert_eq!((requests, connects, reused), (4, 1, 3));
+        handle.shutdown();
+        let snap = join.join().unwrap();
+        assert_eq!(snap.counter(Counter::ServeKeepAliveReuses), 3);
+    }
+
+    #[test]
+    fn keep_alive_request_cap_closes_and_client_reconnects() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            keep_alive: true,
+            keep_alive_max_requests: 2,
+            ..ServeConfig::default()
+        });
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5)).unwrap();
+        let first = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        let second = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(second.header("connection"), Some("close"));
+        let third = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(third.status, 200);
+        let (requests, connects, reused) = client.stats();
+        assert_eq!((requests, connects, reused), (3, 2, 1));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_oversized_body_is_drained_and_connection_survives() {
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            keep_alive: true,
+            max_body_bytes: 256,
+            ..ServeConfig::default()
+        });
+        let mut client = HttpClient::new(&addr, Duration::from_secs(5)).unwrap();
+        let huge = "x".repeat(4096);
+        let resp = client.request("POST", "/analyze", Some(&huge)).unwrap();
+        assert_eq!(resp.status, 413);
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        let ok = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(ok.status, 200);
+        let (_, connects, reused) = client.stats();
+        assert_eq!((connects, reused), (1, 1));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn analyze_lane_outruns_experiment_backlog() {
+        // One worker, a heavy /experiment queued first: the light lane
+        // must still get scheduled between heavy units rather than
+        // waiting for the whole heavy backlog (WDRR, not FIFO).
+        let (addr, handle, join) = start(ServeConfig {
+            workers: 1,
+            keep_alive: true,
+            ..ServeConfig::default()
+        });
+        let t = Duration::from_secs(30);
+        let mut heavy: Vec<_> = (0..3)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    http_request(&addr, "POST", "/experiment", Some(&mini_body(90 + i)), t).unwrap()
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        let analyze = http_request(&addr, "GET", "/healthz", None, t).unwrap();
+        assert_eq!(analyze.status, 200);
+        for h in heavy.drain(..) {
+            assert_eq!(h.join().unwrap().status, 200);
+        }
+        handle.shutdown();
+        let snap = join.join().unwrap();
+        assert_eq!(snap.counter(Counter::ServeLaneHeavy), 3);
+        assert!(snap.counter(Counter::ServeLaneLight) >= 1);
     }
 }

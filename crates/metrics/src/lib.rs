@@ -86,11 +86,17 @@ pub enum Counter {
     ServeCoalesceHits,
     ServePanics,
     ServeDeadlineTrips,
+    ServeBatches,
+    ServeBatchedUnits,
+    ServeLaneLight,
+    ServeLaneHeavy,
+    ServeKeepAliveReuses,
+    ServeRequestTimeouts,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 40] = [
         Counter::FaultsUniverse,
         Counter::FaultsCollapsed,
         Counter::RandomPatternsKept,
@@ -125,6 +131,12 @@ impl Counter {
         Counter::ServeCoalesceHits,
         Counter::ServePanics,
         Counter::ServeDeadlineTrips,
+        Counter::ServeBatches,
+        Counter::ServeBatchedUnits,
+        Counter::ServeLaneLight,
+        Counter::ServeLaneHeavy,
+        Counter::ServeKeepAliveReuses,
+        Counter::ServeRequestTimeouts,
     ];
 
     /// Position in [`Counter::ALL`] (the sink's array index).
@@ -184,6 +196,12 @@ impl Counter {
             Counter::ServeCoalesceHits => "serve_coalesce_hits",
             Counter::ServePanics => "serve_panics",
             Counter::ServeDeadlineTrips => "serve_deadline_trips",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeBatchedUnits => "serve_batched_units",
+            Counter::ServeLaneLight => "serve_lane_light",
+            Counter::ServeLaneHeavy => "serve_lane_heavy",
+            Counter::ServeKeepAliveReuses => "serve_keepalive_reuses",
+            Counter::ServeRequestTimeouts => "serve_request_timeouts",
         }
     }
 }
@@ -212,11 +230,13 @@ pub enum Phase {
     TdvAnalysis,
     Parse,
     ServeRequest,
+    ServeWaitLight,
+    ServeWaitHeavy,
 }
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 19] = [
         Phase::IndexBuild,
         Phase::FaultEnumerate,
         Phase::FaultCollapse,
@@ -234,6 +254,8 @@ impl Phase {
         Phase::TdvAnalysis,
         Phase::Parse,
         Phase::ServeRequest,
+        Phase::ServeWaitLight,
+        Phase::ServeWaitHeavy,
     ];
 
     /// Position in [`Phase::ALL`] (the sink's array index).
@@ -266,6 +288,12 @@ impl Phase {
             Phase::TdvAnalysis => "tdv_analysis",
             Phase::Parse => "parse",
             Phase::ServeRequest => "serve_request",
+            // Lane-queue wait time inside `modsoc serve`: how long a
+            // parsed request sat in its admission lane before a worker
+            // dispatched it. Like the serve_* counters, these never
+            // move in CLI runs.
+            Phase::ServeWaitLight => "serve_wait_light",
+            Phase::ServeWaitHeavy => "serve_wait_heavy",
         }
     }
 }

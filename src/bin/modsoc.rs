@@ -50,7 +50,7 @@ use modsoc::analysis::report::{
     render_survey,
 };
 use modsoc::analysis::runctl::analyze_soc_guarded_jobs_metered;
-use modsoc::analysis::serve::{http_request, HttpResponse, ServeConfig, Server};
+use modsoc::analysis::serve::{http_request, HttpClient, HttpResponse, ServeConfig, Server};
 use modsoc::analysis::tdv::core_tdv_checked;
 use modsoc::analysis::{RunBudget, SocTdvAnalysis, TdvOptions};
 use modsoc::atpg::{Atpg, AtpgOptions};
@@ -97,8 +97,12 @@ const USAGE: &str = "usage:
   modsoc serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
                [--max-body-bytes N] [--request-timeout-ms N] [--read-timeout-ms N]
                [--write-timeout-ms N] [--retry-after-secs N] [--jobs N]
+               [--keep-alive] [--keep-alive-max N] [--idle-timeout-ms N]
+               [--batch-max N] [--batch-window-ms N] [--lane-weights L:H]
                [--store DIR] [--no-store-read]
   modsoc loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--seed S]
+                 [--keep-alive] [--bodies-out FILE] [--json FILE] [--check FILE]
+                 [--label NAME] [--tolerance F]
                  [--flood N] [--analyze-file FILE.soc] [--shutdown]
   modsoc atpg <file.bench> [--dynamic] [--timeout-ms N] [--max-patterns N] [--max-backtracks N]
                            [--patterns-out FILE] [--verilog-out FILE]
@@ -167,6 +171,8 @@ fn positional(args: &[String]) -> Option<&str> {
                     | "--fail-fast"
                     | "--skip-monolithic"
                     | "--no-store-read"
+                    | "--keep-alive"
+                    | "--shutdown"
             );
             continue;
         }
@@ -501,7 +507,7 @@ mod sig {
 fn cmd_serve(args: &[String]) -> Result<RunStatus, String> {
     check_flags(
         args,
-        &["--no-store-read"],
+        &["--no-store-read", "--keep-alive"],
         &[
             "--addr",
             "--workers",
@@ -512,6 +518,11 @@ fn cmd_serve(args: &[String]) -> Result<RunStatus, String> {
             "--read-timeout-ms",
             "--write-timeout-ms",
             "--retry-after-secs",
+            "--keep-alive-max",
+            "--idle-timeout-ms",
+            "--batch-max",
+            "--batch-window-ms",
+            "--lane-weights",
             "--jobs",
             "--store",
         ],
@@ -549,6 +560,31 @@ fn cmd_serve(args: &[String]) -> Result<RunStatus, String> {
     if let Some(n) = flag_value(args, "--retry-after-secs") {
         config.retry_after_secs = parse_num(n, "--retry-after-secs")?;
     }
+    config.keep_alive = has_flag(args, "--keep-alive");
+    if let Some(n) = flag_value(args, "--keep-alive-max") {
+        config.keep_alive_max_requests = parse_num(n, "--keep-alive-max")?;
+    }
+    if let Some(n) = flag_value(args, "--idle-timeout-ms") {
+        config.idle_timeout = Duration::from_millis(parse_num(n, "--idle-timeout-ms")?);
+    }
+    if let Some(n) = flag_value(args, "--batch-max") {
+        config.batch_max = parse_num(n, "--batch-max")?;
+    }
+    if let Some(n) = flag_value(args, "--batch-window-ms") {
+        config.batch_window = Duration::from_millis(parse_num(n, "--batch-window-ms")?);
+    }
+    if let Some(w) = flag_value(args, "--lane-weights") {
+        let (light, heavy) = w
+            .split_once(':')
+            .ok_or("--lane-weights wants LIGHT:HEAVY, e.g. 4:1")?;
+        config.lane_weights = (
+            parse_num(light, "--lane-weights")?,
+            parse_num(heavy, "--lane-weights")?,
+        );
+        if config.lane_weights.0 == 0 || config.lane_weights.1 == 0 {
+            return Err("--lane-weights must both be >= 1".into());
+        }
+    }
     let requested = config.addr.clone();
     let server = Server::bind(config).map_err(|e| format!("binding {requested}: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -585,6 +621,14 @@ fn cmd_serve(args: &[String]) -> Result<RunStatus, String> {
         snapshot.counter(Counter::ServeDeadlineTrips),
         snapshot.counter(Counter::ServePanics),
     );
+    eprintln!(
+        "serve: {} keep-alive reuses, {} batches covering {} units, lanes light/heavy {}/{}",
+        snapshot.counter(Counter::ServeKeepAliveReuses),
+        snapshot.counter(Counter::ServeBatches),
+        snapshot.counter(Counter::ServeBatchedUnits),
+        snapshot.counter(Counter::ServeLaneLight),
+        snapshot.counter(Counter::ServeLaneHeavy),
+    );
     Ok(RunStatus::Complete)
 }
 
@@ -599,6 +643,9 @@ fn xorshift(state: &mut u64) -> u64 {
 
 /// One loadgen request outcome.
 struct LoadgenOutcome {
+    /// Workload index — recovers deterministic ordering after the
+    /// work-stealing workers scramble completion order.
+    index: usize,
     status: u16,
     latency: Duration,
     class: &'static str,
@@ -607,9 +654,58 @@ struct LoadgenOutcome {
     hot_body: Option<String>,
     /// Whether a 503 carried the mandatory `Retry-After` header.
     retry_after_ok: bool,
+    /// 503 retries spent before this outcome settled.
+    retries: u64,
+    /// SHA-256 of the response body (`io-error` on transport failure) —
+    /// the keep-alive parity smoke diffs these across transport modes.
+    body_sha: String,
 }
 
-fn loadgen_request(addr: &str, seed: u64, i: usize, salt: u64) -> LoadgenOutcome {
+/// The loadgen client side of one worker: either a persistent
+/// keep-alive [`HttpClient`] or the PR 7 one-connection-per-request
+/// path, so the same workload can measure both.
+struct Transport {
+    addr: String,
+    client: Option<HttpClient>,
+}
+
+impl Transport {
+    fn new(addr: &str, keep_alive: bool) -> Result<Transport, String> {
+        let client = if keep_alive {
+            Some(HttpClient::new(addr, Duration::from_secs(60)).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        Ok(Transport {
+            addr: addr.to_string(),
+            client,
+        })
+    }
+
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        match &mut self.client {
+            Some(c) => c.request(method, path, body),
+            None => http_request(&self.addr, method, path, body, Duration::from_secs(60)),
+        }
+    }
+
+    /// (requests, connects, reused) for the keep-alive client; zeros in
+    /// one-shot mode.
+    fn stats(&self) -> (u64, u64, u64) {
+        self.client.as_ref().map_or((0, 0, 0), HttpClient::stats)
+    }
+}
+
+/// Attempts per request: the first send plus up to four seeded-backoff
+/// retries when the server sheds with `503` + `Retry-After`.
+const LOADGEN_MAX_ATTEMPTS: u64 = 5;
+
+fn loadgen_request(transport: &mut Transport, seed: u64, i: usize, salt: u64) -> LoadgenOutcome {
     let mut rng = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(i as u64 + 1);
@@ -656,22 +752,50 @@ fn loadgen_request(addr: &str, seed: u64, i: usize, salt: u64) -> LoadgenOutcome
         )
     };
     let started = std::time::Instant::now();
-    let resp = http_request(addr, method, path, Some(&body), Duration::from_secs(60));
+    let mut retries = 0u64;
+    let resp = loop {
+        let resp = transport.send(method, path, Some(&body));
+        match resp {
+            // A tagged shed is advice, not failure: honor Retry-After
+            // with seeded jitter so the retry herd spreads out, then
+            // re-submit. Untagged 503s stay terminal (and flagged).
+            Ok(r)
+                if r.status == 503
+                    && retries + 1 < LOADGEN_MAX_ATTEMPTS
+                    && r.header("retry-after").is_some() =>
+            {
+                let after_ms = r
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map_or(100, |s| (s * 1000).min(400));
+                retries += 1;
+                std::thread::sleep(Duration::from_millis(after_ms + xorshift(&mut rng) % 200));
+            }
+            other => break other,
+        }
+    };
     let latency = started.elapsed();
+    let sha = |bytes: &[u8]| modsoc::store::sha256::hex(&modsoc::store::sha256::digest(bytes));
     match resp {
         Ok(r) => LoadgenOutcome {
+            index: i,
             status: r.status,
             latency,
             class,
             hot_body: (class == "hot" && r.status == 200).then(|| r.body_text()),
             retry_after_ok: r.status != 503 || r.header("retry-after").is_some(),
+            retries,
+            body_sha: sha(&r.body),
         },
         Err(_) => LoadgenOutcome {
+            index: i,
             status: 0,
             latency,
             class,
             hot_body: None,
             retry_after_ok: true,
+            retries,
+            body_sha: "io-error".to_string(),
         },
     }
 }
@@ -696,7 +820,7 @@ fn percentile(sorted: &[Duration], p: f64) -> f64 {
 fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
     check_flags(
         args,
-        &["--shutdown"],
+        &["--shutdown", "--keep-alive"],
         &[
             "--addr",
             "--requests",
@@ -704,6 +828,11 @@ fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
             "--seed",
             "--flood",
             "--analyze-file",
+            "--bodies-out",
+            "--json",
+            "--label",
+            "--check",
+            "--tolerance",
         ],
     )?;
     let addr = flag_value(args, "--addr")
@@ -815,31 +944,42 @@ fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
         Some(n) => parse_num(n, "--concurrency")?,
         None => 8,
     };
+    let keep_alive = has_flag(args, "--keep-alive");
     let next = std::sync::atomic::AtomicUsize::new(0);
     let started = std::time::Instant::now();
-    let outcomes: Vec<LoadgenOutcome> = std::thread::scope(|s| {
+    let per_worker: Vec<(Vec<LoadgenOutcome>, (u64, u64, u64))> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..concurrency.max(1))
             .map(|_| {
                 let addr = addr.clone();
                 let next = &next;
                 s.spawn(move || {
+                    let mut transport = Transport::new(&addr, keep_alive)?;
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                         if i >= requests {
-                            return mine;
+                            return Ok((mine, transport.stats()));
                         }
-                        mine.push(loadgen_request(&addr, seed, i, 100));
+                        mine.push(loadgen_request(&mut transport, seed, i, 100));
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap_or_default())
-            .collect()
-    });
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect::<Result<_, String>>()
+    })?;
     let wall = started.elapsed().as_secs_f64();
+    let (mut ka_requests, mut ka_connects, mut ka_reused) = (0u64, 0u64, 0u64);
+    let mut outcomes: Vec<LoadgenOutcome> = Vec::with_capacity(requests);
+    for (mine, (rq, co, re)) in per_worker {
+        outcomes.extend(mine);
+        ka_requests += rq;
+        ka_connects += co;
+        ka_reused += re;
+    }
+    outcomes.sort_unstable_by_key(|o| o.index);
     let mut by_status: Vec<(u16, usize)> = Vec::new();
     for o in &outcomes {
         match by_status.iter_mut().find(|(s, _)| *s == o.status) {
@@ -866,12 +1006,78 @@ fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
         })
         .collect();
     println!("status {}", histogram.join("  "));
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
     println!(
-        "latency ms: p50 {:.1}  p90 {:.1}  p99 {:.1}",
-        percentile(&latencies, 0.50),
+        "latency ms: p50 {p50:.1}  p90 {:.1}  p99 {p99:.1}",
         percentile(&latencies, 0.90),
-        percentile(&latencies, 0.99)
     );
+    let mut analyze_lat: Vec<Duration> = outcomes
+        .iter()
+        .filter(|o| o.class == "analyze")
+        .map(|o| o.latency)
+        .collect();
+    analyze_lat.sort_unstable();
+    let analyze_p99 = percentile(&analyze_lat, 0.99);
+    if !analyze_lat.is_empty() {
+        println!(
+            "analyze latency ms: p50 {:.1}  p99 {analyze_p99:.1} ({} requests)",
+            percentile(&analyze_lat, 0.50),
+            analyze_lat.len()
+        );
+    }
+    let total_retries: u64 = outcomes.iter().map(|o| o.retries).sum();
+    println!("retries after 503: {total_retries}");
+    if keep_alive {
+        println!(
+            "keep-alive: {ka_requests} requests over {ka_connects} connections ({ka_reused} reused)"
+        );
+    }
+    if let Some(path) = flag_value(args, "--bodies-out") {
+        let mut lines = String::new();
+        for o in &outcomes {
+            use std::fmt::Write as _;
+            let _ = writeln!(lines, "{} {} {} {}", o.index, o.class, o.status, o.body_sha);
+        }
+        std::fs::write(path, lines).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let req_per_s = outcomes.len() as f64 / wall.max(1e-9);
+    let label =
+        flag_value(args, "--label").unwrap_or(if keep_alive { "keepalive" } else { "baseline" });
+    if let Some(path) = flag_value(args, "--json") {
+        write_serve_bench(
+            path,
+            label,
+            requests,
+            concurrency,
+            seed,
+            req_per_s,
+            p50,
+            p99,
+            analyze_p99,
+        )?;
+        println!("bench: wrote entry \"{label}\" to {path}");
+    }
+    let mut gate_failures = Vec::new();
+    if let Some(path) = flag_value(args, "--check") {
+        let tolerance: f64 = match flag_value(args, "--tolerance") {
+            Some(t) => t.parse().map_err(|e| format!("--tolerance {t}: {e}"))?,
+            None => 0.5,
+        };
+        gate_failures =
+            check_serve_bench(path, label, tolerance, req_per_s, p50, p99, analyze_p99)?;
+        println!(
+            "bench gate vs \"{label}\" in {path} (tolerance {tolerance}): {}",
+            if gate_failures.is_empty() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        for f in &gate_failures {
+            println!("  {f}");
+        }
+    }
     // Invariants behind the corruption check:
     //  * every identical "hot" request answered 200 with identical
     //    bytes (one engine result fanned out, never a torn mix);
@@ -898,14 +1104,131 @@ fn cmd_loadgen(args: &[String]) -> Result<RunStatus, String> {
         "zero-corruption check: {}",
         if pass { "PASS" } else { "FAIL" }
     );
-    if pass {
-        Ok(RunStatus::Complete)
-    } else {
-        Err(format!(
+    if !pass {
+        return Err(format!(
             "corruption check failed (hot consistent: {hot_consistent}, hot ok: {hot_all_ok}, \
              oversized 413: {oversized_ok}, sheds tagged: {sheds_tagged}, no io errors: {no_io_errors})"
-        ))
+        ));
     }
+    if !gate_failures.is_empty() {
+        return Err(format!(
+            "serve bench gate failed: {}",
+            gate_failures.join("; ")
+        ));
+    }
+    Ok(RunStatus::Complete)
+}
+
+/// Write (or update) one labelled entry in a `BENCH_serve.json`
+/// baseline. Entries under other labels are preserved so the baseline
+/// can hold the keep-alive and close-per-request numbers side by side.
+#[allow(clippy::too_many_arguments)]
+fn write_serve_bench(
+    path: &str,
+    label: &str,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    analyze_p99_ms: f64,
+) -> Result<(), String> {
+    use modsoc::metrics::json::JsonValue;
+    let round = |v: f64| (v * 1000.0).round() / 1000.0;
+    let mut entries: Vec<(String, JsonValue)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| modsoc::metrics::json::parse(&text).ok())
+        .and_then(|doc| match doc.get("entries") {
+            Some(JsonValue::Object(pairs)) => Some(pairs.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let entry = JsonValue::Object(vec![
+        ("req_per_s".to_string(), JsonValue::Number(round(req_per_s))),
+        ("p50_ms".to_string(), JsonValue::Number(round(p50_ms))),
+        ("p99_ms".to_string(), JsonValue::Number(round(p99_ms))),
+        (
+            "analyze_p99_ms".to_string(),
+            JsonValue::Number(round(analyze_p99_ms)),
+        ),
+    ]);
+    match entries.iter_mut().find(|(k, _)| k == label) {
+        Some((_, v)) => *v = entry,
+        None => entries.push((label.to_string(), entry)),
+    }
+    let doc = JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::String("modsoc-serve-bench/v1".to_string()),
+        ),
+        (
+            "workload".to_string(),
+            JsonValue::Object(vec![
+                ("requests".to_string(), JsonValue::Number(requests as f64)),
+                (
+                    "concurrency".to_string(),
+                    JsonValue::Number(concurrency as f64),
+                ),
+                ("seed".to_string(), JsonValue::Number(seed as f64)),
+            ]),
+        ),
+        ("entries".to_string(), JsonValue::Object(entries)),
+    ]);
+    let mut text = doc.to_compact();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Compare a run against the labelled `BENCH_serve.json` entry.
+/// Throughput may regress at most `tolerance` (fractional); latency
+/// percentiles may exceed baseline by `tolerance` plus a small absolute
+/// slack that keeps millisecond-scale baselines from tripping on
+/// scheduler noise. Returns human-readable failures (empty = pass).
+fn check_serve_bench(
+    path: &str,
+    label: &str,
+    tolerance: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    analyze_p99_ms: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = modsoc::metrics::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let entry = doc
+        .get("entries")
+        .and_then(|e| e.get(label))
+        .ok_or_else(|| format!("{path} has no entry labelled \"{label}\""))?;
+    let base = |field: &str| -> Result<f64, String> {
+        entry
+            .get(field)
+            .and_then(modsoc::metrics::json::JsonValue::as_f64)
+            .ok_or_else(|| format!("{path} entry \"{label}\" lacks numeric {field}"))
+    };
+    let mut failures = Vec::new();
+    let base_rps = base("req_per_s")?;
+    if req_per_s < base_rps * (1.0 - tolerance) {
+        failures.push(format!(
+            "req/s {req_per_s:.1} fell below baseline {base_rps:.1} - {:.0}%",
+            tolerance * 100.0
+        ));
+    }
+    for (name, now, slack_ms) in [
+        ("p50_ms", p50_ms, 5.0),
+        ("p99_ms", p99_ms, 25.0),
+        ("analyze_p99_ms", analyze_p99_ms, 25.0),
+    ] {
+        let baseline = base(name)?;
+        let cap = baseline * (1.0 + tolerance) + slack_ms;
+        if now > cap {
+            failures.push(format!(
+                "{name} {now:.1} exceeded baseline {baseline:.1} + {:.0}% + {slack_ms}ms slack",
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(failures)
 }
 
 /// Run a resumable campaign of SOC experiments from a JSON spec,

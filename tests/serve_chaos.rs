@@ -208,6 +208,190 @@ fn queue_overflow_sheds_loudly_never_hangs() {
     assert_eq!(snap.counter(Counter::ServePanics), 0);
 }
 
+/// Read exactly one HTTP response (head + `Content-Length` body) off a
+/// raw keep-alive socket, returning (status, connection header, bytes
+/// read past the response — pipelined leftovers).
+fn read_one_response(s: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    use std::io::Read;
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = s.read(&mut tmp).expect("response head");
+        assert!(n > 0, "connection closed before a full response head");
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("utf8 head");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            match k.trim().to_ascii_lowercase().as_str() {
+                "connection" => connection = v.trim().to_string(),
+                "content-length" => content_length = v.trim().parse().expect("length"),
+                _ => {}
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = s.read(&mut tmp).expect("response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    (
+        status,
+        connection,
+        buf.split_off(body_start + content_length),
+    )
+}
+
+/// Satellite (ISSUE 8): a keep-alive request whose body stalls past the
+/// read deadline must get a clean 408 and a close — the late bytes must
+/// never be misparsed as the method line of a fresh request.
+#[test]
+fn stalled_keep_alive_body_gets_408_and_close_not_misparse() {
+    let (addr, stop) = start(ServeConfig {
+        workers: 1,
+        keep_alive: true,
+        read_timeout: Duration::from_millis(300),
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Request 1: complete, served on the now-persistent connection.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n")
+        .expect("request 1");
+    let (status, connection, leftover) = read_one_response(&mut s);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    assert!(leftover.is_empty(), "no pipelined bytes were sent");
+    // Request 2: head plus a body prefix, then a stall longer than the
+    // server's read deadline.
+    s.write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 24\r\n\r\n{\"soc\"")
+        .expect("request 2 prefix");
+    std::thread::sleep(Duration::from_millis(800));
+    // The rest of the body arrives late. The server may already have
+    // closed; a write error is acceptable, a misparse is not.
+    let _ = s.write_all(b": \"late late late\"}");
+    let (status, connection, mut rest) = read_one_response(&mut s);
+    assert_eq!(status, 408, "stalled body must time out, not be misparsed");
+    assert_eq!(connection, "close", "a timed-out connection must close");
+    // Nothing but EOF after the 408: the late body bytes must not have
+    // been answered as if they opened a new request.
+    use std::io::Read;
+    s.read_to_end(&mut rest).expect("eof");
+    assert!(
+        rest.is_empty(),
+        "unexpected bytes after the 408: {:?}",
+        String::from_utf8_lossy(&rest)
+    );
+    // The daemon itself is unharmed.
+    let resp = http_request(&addr, "GET", "/healthz", None, Duration::from_secs(5))
+        .expect("healthz after stall");
+    assert_eq!(resp.status, 200);
+    let snap = stop();
+    assert_eq!(snap.counter(Counter::ServeRequestTimeouts), 1);
+    assert_eq!(snap.counter(Counter::ServePanics), 0);
+}
+
+/// Satellite (ISSUE 8): batching composes with coalescing. K identical
+/// plus M distinct compatible requests fired concurrently run each
+/// unique unit exactly once (store writes match sequential execution),
+/// coalesce the K duplicates, and return bodies byte-identical to
+/// sequential single-request execution.
+#[test]
+fn batching_composes_with_coalescing_and_stays_byte_identical() {
+    const HOT: u64 = 300;
+    const DISTINCT: [u64; 3] = [301, 302, 303];
+    const K: usize = 4; // identical (seed HOT) requests
+
+    // Sequential reference: every unique unit once, batching off.
+    let seq_dir = temp_dir("batch_seq");
+    let seq_store = Arc::new(ResultStore::open(&seq_dir).expect("store"));
+    let (seq_addr, seq_stop) = start(ServeConfig {
+        workers: 1,
+        store: Some(Arc::clone(&seq_store)),
+        ..ServeConfig::default()
+    });
+    let mut sequential: Vec<(u64, String)> = Vec::new();
+    for seed in std::iter::once(HOT).chain(DISTINCT) {
+        let resp = post_experiment(&seq_addr, seed).expect("sequential run");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        sequential.push((seed, resp.body_text()));
+    }
+    seq_stop();
+    let sequential_writes = seq_store.writes();
+    assert!(sequential_writes > 0);
+
+    // Concurrent stampede with batching on: a wide window so the
+    // concurrently-arriving compatible units actually group.
+    let dir = temp_dir("batch_mix");
+    let store = Arc::new(ResultStore::open(&dir).expect("store"));
+    let (addr, stop) = start(ServeConfig {
+        workers: 6,
+        batch_max: 4,
+        batch_window: Duration::from_millis(150),
+        store: Some(Arc::clone(&store)),
+        ..ServeConfig::default()
+    });
+    let concurrent: Vec<(u64, String)> = std::thread::scope(|s| {
+        let seeds: Vec<u64> = std::iter::repeat_n(HOT, K).chain(DISTINCT).collect();
+        let handles: Vec<_> = seeds
+            .into_iter()
+            .map(|seed| {
+                let addr = addr.clone();
+                s.spawn(move || (seed, post_experiment(&addr, seed).expect("stampede")))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (seed, resp) = h.join().expect("client thread");
+                assert_eq!(resp.status, 200, "{}", resp.body_text());
+                (seed, resp.body_text())
+            })
+            .collect()
+    });
+    let snap = stop();
+
+    // Exactly M+1 engine runs: the stampede wrote what sequential wrote.
+    assert_eq!(
+        store.writes(),
+        sequential_writes,
+        "batching/coalescing must not duplicate or skip engine work"
+    );
+    // The K duplicates coalesced onto one flight.
+    assert_eq!(snap.counter(Counter::ServeCoalesceHits), K as u64 - 1);
+    // Every unique unit went through the batch path exactly once.
+    assert_eq!(
+        snap.counter(Counter::ServeBatchedUnits),
+        1 + DISTINCT.len() as u64
+    );
+    assert!(snap.counter(Counter::ServeBatches) >= 1);
+    // Byte identity: every response matches its sequential twin.
+    for (seed, body) in &concurrent {
+        let twin = sequential
+            .iter()
+            .find(|(s, _)| s == seed)
+            .map(|(_, b)| b)
+            .expect("sequential twin");
+        assert_eq!(body, twin, "seed {seed} diverged from sequential bytes");
+    }
+    assert_eq!(snap.counter(Counter::ServePanics), 0);
+    let _ = std::fs::remove_dir_all(&seq_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Process-level: SIGTERM mid-service must drain, exit 0, and leave the
 /// shared store passing a corruption sweep.
 #[test]

@@ -81,6 +81,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod parallel;
 pub mod reconstruct;
+pub mod remote;
 pub mod report;
 pub mod runctl;
 pub mod serve;
@@ -88,9 +89,12 @@ pub mod tdv;
 pub mod timecost;
 
 pub use analysis::{CoreTdvRow, SocTdvAnalysis};
-pub use campaign::{run_campaign, CampaignReport, CampaignSpec, UnitStatus};
+pub use campaign::{
+    run_campaign, run_campaign_claimed, CampaignReport, CampaignSpec, ClaimOptions, UnitStatus,
+};
 pub use error::AnalysisError;
 pub use parallel::WorkerPool;
+pub use remote::HttpBackend;
 pub use runctl::{
     BudgetExhausted, Completion, CoreFailure, CoreOutcome, CoreOutcomeKind, ExhaustReason,
     RunBudget,

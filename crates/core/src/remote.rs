@@ -1,0 +1,333 @@
+//! HTTP transport for the result store: a [`StoreBackend`] speaking to
+//! the `/store/*` endpoints of a `modsoc serve --store` daemon.
+//!
+//! This is the client half of the distributed-campaign story: wrap an
+//! [`HttpBackend`] in a [`ResultStore`](modsoc_store::ResultStore) and
+//! every `get`/`put`/journal/claim the campaign runner issues travels
+//! over the wire instead of the local filesystem — with the *same*
+//! read-side corruption taxonomy, because validation lives in the
+//! wrapper, not the transport. A byte flip on the server's disk is
+//! detected by the client's checksum pass, reported back as a
+//! `POST /store/evict`, and recomputed; never trusted, never a crash.
+//!
+//! Transport robustness mirrors `modsoc loadgen`'s client discipline:
+//!
+//! * one persistent keep-alive [`HttpClient`] (reconnect-once on a
+//!   stale socket) behind a mutex;
+//! * bounded retries with jittered exponential backoff on transport
+//!   errors — a daemon restart mid-campaign costs a few hundred
+//!   milliseconds, not the run;
+//! * `503` + `Retry-After` honored: a shedding daemon's hint bounds the
+//!   sleep before the retry.
+
+use crate::serve::{HttpClient, HttpResponse};
+use modsoc_metrics::json::{self, JsonValue};
+use modsoc_store::backend::{ClaimAction, ClaimOutcome, ClaimRequest, EntryMeta, RawDoc};
+use modsoc_store::{StoreBackend, StoreError};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Attempts (initial try + retries) before a transport failure is
+/// final — the same bound `modsoc loadgen` uses.
+const REMOTE_ATTEMPTS: u32 = 5;
+
+/// Cap on one Retry-After sleep, so a generous server hint cannot
+/// stall a campaign worker for seconds per request.
+const RETRY_AFTER_CAP_MS: u64 = 400;
+
+fn other_err(url: &str, message: String) -> StoreError {
+    StoreError::Io {
+        path: PathBuf::from(url),
+        source: io::Error::other(message),
+    }
+}
+
+/// A [`StoreBackend`] over the `/store/*` endpoints of one
+/// `modsoc serve --store` daemon.
+#[derive(Debug)]
+pub struct HttpBackend {
+    url: String,
+    client: Mutex<HttpClient>,
+    rng: AtomicU64,
+}
+
+impl HttpBackend {
+    /// Connect to a serve daemon at `url` (`http://host:port` or bare
+    /// `host:port`) and verify it actually fronts a store: a probe
+    /// `GET /store/get` must answer the store protocol, not the 422
+    /// that means the daemon was started without `--store`.
+    ///
+    /// # Errors
+    ///
+    /// An unparseable address, an unreachable daemon, or a daemon
+    /// without a store.
+    pub fn connect(url: &str, timeout: Duration) -> io::Result<HttpBackend> {
+        let addr = url
+            .strip_prefix("http://")
+            .unwrap_or(url)
+            .trim_end_matches('/');
+        let backend = HttpBackend {
+            url: format!("http://{addr}"),
+            client: Mutex::new(HttpClient::new(addr, timeout)?),
+            rng: AtomicU64::new(
+                std::time::UNIX_EPOCH
+                    .elapsed()
+                    .map(|d| d.subsec_nanos() as u64)
+                    .unwrap_or(1)
+                    | 1,
+            ),
+        };
+        let probe = format!("/store/get?key={}", "0".repeat(64));
+        let (resp, _) = backend
+            .send("GET", &probe, None)
+            .map_err(|e| io::Error::other(format!("{}: {e}", backend.url)))?;
+        if resp.status == 422 {
+            return Err(io::Error::other(format!(
+                "{}: daemon has no --store ({})",
+                backend.url,
+                resp.body_text()
+            )));
+        }
+        Ok(backend)
+    }
+
+    /// The base URL this backend speaks to.
+    #[must_use]
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    fn next_jitter(&self, bound: u64) -> u64 {
+        // xorshift64, same family as the store lock's backoff jitter.
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x % bound.max(1)
+    }
+
+    /// One logical request with the transport retry policy: transport
+    /// errors and 503s are retried with bounded jittered backoff
+    /// (honoring `Retry-After` on the 503s); any other response is
+    /// returned as-is. The second tuple element is how many retries
+    /// were spent (reported upstream as `store_retries`).
+    fn send(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(HttpResponse, u64), StoreError> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..REMOTE_ATTEMPTS {
+            if attempt > 0 {
+                let backoff = (1u64 << attempt.min(4)) + self.next_jitter(4);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            let result = {
+                let mut client = self
+                    .client
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                client.request(method, path, body)
+            };
+            match result {
+                Ok(resp) if resp.status == 503 => {
+                    // Shed: honor the daemon's Retry-After hint
+                    // (capped) plus jitter, then go around.
+                    let hint_ms = resp
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map_or(50, |s| (s * 1000).min(RETRY_AFTER_CAP_MS));
+                    std::thread::sleep(Duration::from_millis(hint_ms + self.next_jitter(200)));
+                    last_err = Some(io::Error::other("503 shed"));
+                }
+                Ok(resp) => return Ok((resp, u64::from(attempt))),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(StoreError::Io {
+            path: PathBuf::from(&self.url),
+            source: last_err.unwrap_or_else(|| io::Error::other("request failed")),
+        })
+    }
+
+    /// Map a GET of a raw document to the [`RawDoc`] taxonomy: 200 is
+    /// the text, 404 is a miss, anything else (including transport
+    /// exhaustion) is unreadable — which the consuming [`ResultStore`]
+    /// treats as eviction + recompute, never a crash.
+    fn fetch_doc(&self, path: &str) -> RawDoc {
+        match self.send("GET", path, None) {
+            Ok((resp, _)) if resp.status == 200 => RawDoc::Present(resp.body_text()),
+            Ok((resp, _)) if resp.status == 404 => RawDoc::Missing,
+            Ok((resp, _)) => RawDoc::Unreadable(format!("remote status {}", resp.status)),
+            Err(e) => RawDoc::Unreadable(format!("remote unreachable: {e}")),
+        }
+    }
+
+    fn post_evict(&self, target: (&str, &str), why: &str) -> bool {
+        let (field, value) = target;
+        let body = JsonValue::Object(vec![
+            (field.to_string(), JsonValue::String(value.to_string())),
+            ("why".to_string(), JsonValue::String(why.to_string())),
+        ])
+        .to_compact();
+        matches!(self.send("POST", "/store/evict", Some(&body)), Ok((resp, _)) if resp.status == 200)
+    }
+}
+
+impl StoreBackend for HttpBackend {
+    fn describe(&self) -> String {
+        self.url.clone()
+    }
+
+    fn is_remote(&self) -> bool {
+        true
+    }
+
+    fn local_root(&self) -> Option<&Path> {
+        None
+    }
+
+    fn load_entry(&self, key_hex: &str) -> RawDoc {
+        self.fetch_doc(&format!("/store/get?key={key_hex}"))
+    }
+
+    fn store_entry(&self, key_hex: &str, doc: &str) -> Result<u64, StoreError> {
+        let (resp, retries) = self.send("POST", "/store/put", Some(doc))?;
+        if resp.status != 200 {
+            return Err(other_err(
+                &self.url,
+                format!(
+                    "put {key_hex}: status {}: {}",
+                    resp.status,
+                    resp.body_text()
+                ),
+            ));
+        }
+        Ok(retries)
+    }
+
+    fn remove_entry(&self, key_hex: &str, why: &str) -> bool {
+        let removed = self.post_evict(("key", key_hex), why);
+        if removed {
+            eprintln!("store: evicting {}/{key_hex} ({why})", self.url);
+        }
+        removed
+    }
+
+    fn entry_meta(&self) -> Result<Vec<EntryMeta>, StoreError> {
+        Err(other_err(
+            &self.url,
+            "remote stores cannot be enumerated; run gc/verify where the bytes live".to_string(),
+        ))
+    }
+
+    fn verify_all(&self) -> Result<(usize, usize), StoreError> {
+        Err(other_err(
+            &self.url,
+            "remote stores cannot be enumerated; run gc/verify where the bytes live".to_string(),
+        ))
+    }
+
+    fn load_journal(&self, stem: &str) -> RawDoc {
+        self.fetch_doc(&format!("/store/journal?name={stem}"))
+    }
+
+    fn merge_journal(&self, stem: &str, entry_doc: &str) -> Result<(String, u64), StoreError> {
+        let entry = json::parse(entry_doc)
+            .map_err(|e| other_err(&self.url, format!("journal entry doc: {e}")))?;
+        let body = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::String(stem.to_string())),
+            ("entry".to_string(), entry),
+        ])
+        .to_compact();
+        let (resp, retries) = self.send("POST", "/store/journal", Some(&body))?;
+        if resp.status != 200 {
+            return Err(other_err(
+                &self.url,
+                format!(
+                    "journal merge {stem}: status {}: {}",
+                    resp.status,
+                    resp.body_text()
+                ),
+            ));
+        }
+        Ok((resp.body_text(), retries))
+    }
+
+    fn remove_journal(&self, stem: &str, why: &str) -> bool {
+        let removed = self.post_evict(("journal", stem), why);
+        if removed {
+            eprintln!("store: evicting journal {}/{stem} ({why})", self.url);
+        }
+        removed
+    }
+
+    fn claim(&self, req: &ClaimRequest<'_>) -> Result<ClaimOutcome, StoreError> {
+        let action = match req.action {
+            ClaimAction::Acquire => "acquire",
+            ClaimAction::Renew => "renew",
+            ClaimAction::Release => "release",
+        };
+        let body = JsonValue::Object(vec![
+            (
+                "journal".to_string(),
+                JsonValue::String(req.journal.to_string()),
+            ),
+            ("unit".to_string(), JsonValue::String(req.unit.to_string())),
+            ("key".to_string(), JsonValue::String(req.key.to_string())),
+            (
+                "owner".to_string(),
+                JsonValue::String(req.owner.to_string()),
+            ),
+            (
+                "lease_ms".to_string(),
+                JsonValue::Number(req.lease.as_millis() as f64),
+            ),
+            ("action".to_string(), JsonValue::String(action.to_string())),
+        ])
+        .to_compact();
+        let (resp, _) = self.send("POST", "/store/claim", Some(&body))?;
+        if resp.status != 200 {
+            return Err(other_err(
+                &self.url,
+                format!(
+                    "claim {}/{}: status {}: {}",
+                    req.journal,
+                    req.unit,
+                    resp.status,
+                    resp.body_text()
+                ),
+            ));
+        }
+        let doc = json::parse(&resp.body_text())
+            .map_err(|e| other_err(&self.url, format!("claim response: {e}")))?;
+        let outcome = doc
+            .get("outcome")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string();
+        match outcome.as_str() {
+            "acquired" => Ok(ClaimOutcome::Acquired {
+                broke_stale: doc.get("broke_stale").and_then(JsonValue::as_bool) == Some(true),
+            }),
+            "held" => Ok(ClaimOutcome::Held {
+                owner: doc
+                    .get("owner")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            "released" => Ok(ClaimOutcome::Released),
+            "not_owner" => Ok(ClaimOutcome::NotOwner),
+            other => Err(other_err(
+                &self.url,
+                format!("claim response outcome {other:?}"),
+            )),
+        }
+    }
+}

@@ -64,6 +64,19 @@
 //! | GET    | `/metrics`  | —                                      | 200     |
 //! | GET    | `/healthz`  | —                                      | 200     |
 //! | POST   | `/shutdown` | —                                      | 200     |
+//! | GET    | `/store/get?key=…` | —                               | 200/404 |
+//! | POST   | `/store/put` | raw entry envelope                    | 200     |
+//! | POST   | `/store/evict` | `{"key"\|"journal":…,"why":…}`      | 200     |
+//! | POST   | `/store/claim` | `{"journal","unit","owner","action",…}` | 200 |
+//! | GET    | `/store/journal?name=…` | —                          | 200/404 |
+//! | POST   | `/store/journal` | `{"name":…,"entry":…}`            | 200     |
+//!
+//! The `/store/*` rows (requires `--store`; 422 without one) turn the
+//! daemon into a **remote store backend**: raw entry/journal documents
+//! in and out (validation stays client-side — see
+//! `modsoc_store::backend`), plus the claim/lease CAS that lets N
+//! `modsoc campaign --store-url` workers partition one spec without
+//! recomputing each other's units.
 //!
 //! Overload taxonomy: `400` malformed request, `404`/`405` wrong
 //! route/method, `408` keep-alive request stalled past its deadline,
@@ -82,7 +95,7 @@ use crate::RunBudget;
 use modsoc_metrics::json::{self, JsonValue};
 use modsoc_metrics::{Counter, MetricsSink, MetricsSnapshot, Phase, PhaseTimer, RecordingSink};
 use modsoc_soc::format::parse_soc;
-use modsoc_store::ResultStore;
+use modsoc_store::{ClaimOutcome, IngestError, RawDoc, ResultStore, StoreKey};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -1004,7 +1017,10 @@ fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) -> 
 }
 
 fn route(shared: &Shared, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+    // `/store/get?key=…` style requests carry their operand in the
+    // query string; everything before `?` selects the handler.
+    let (path, query) = req.path.split_once('?').unwrap_or((req.path.as_str(), ""));
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => Response::json(
             200,
             JsonValue::Object(vec![(
@@ -1027,10 +1043,289 @@ fn route(shared: &Shared, req: &Request) -> Response {
         }
         ("POST", "/analyze") => handle_analyze(shared, &req.body),
         ("POST", "/experiment") => handle_experiment(shared, &req.body),
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/experiment") => {
-            Response::error(405, "method not allowed for this path")
-        }
+        ("GET", "/store/get") => handle_store_get(shared, query),
+        ("POST", "/store/put") => handle_store_put(shared, &req.body),
+        ("POST", "/store/evict") => handle_store_evict(shared, &req.body),
+        ("POST", "/store/claim") => handle_store_claim(shared, &req.body),
+        ("GET", "/store/journal") => handle_store_journal_get(shared, query),
+        ("POST", "/store/journal") => handle_store_journal_merge(shared, &req.body),
+        (
+            _,
+            "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/experiment" | "/store/get"
+            | "/store/put" | "/store/evict" | "/store/claim" | "/store/journal",
+        ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "unknown path"),
+    }
+}
+
+/// Extract one `name=value` pair from a query string. Values are used
+/// verbatim (keys are hex, journal names are pre-sanitized stems — no
+/// percent-decoding is needed or performed).
+fn query_param(query: &str, name: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then(|| v.to_string())
+    })
+}
+
+/// The store behind the `/store/*` endpoints, or the 422 telling the
+/// client this daemon was started without `--store` (a non-retryable
+/// configuration error, distinct from the 404 that means "miss").
+fn store_handle(shared: &Shared) -> Result<&Arc<ResultStore>, Response> {
+    shared
+        .config
+        .store
+        .as_ref()
+        .ok_or_else(|| Response::error(422, "this server has no --store"))
+}
+
+/// `GET /store/get?key=<hex>`: serve the raw entry document, 404 on a
+/// miss. The bytes are *not* validated here — the corruption taxonomy
+/// runs exactly once, on the consuming client, so server-side damage is
+/// observed (and evicted) client-side.
+fn handle_store_get(shared: &Shared, query: &str) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let Some(key_hex) = query_param(query, "key") else {
+        return Response::error(400, "missing key=<hex> query parameter");
+    };
+    if StoreKey::from_hex(&key_hex).is_none() {
+        return Response::error(400, "malformed key");
+    }
+    shared.sink.add(Counter::StoreRemoteGets, 1);
+    match store.load_entry_raw(&key_hex) {
+        RawDoc::Present(text) => Response {
+            status: 200,
+            content_type: "application/json",
+            retry_after: None,
+            body: text,
+        },
+        RawDoc::Missing => Response::error(404, "miss"),
+        RawDoc::Unreadable(why) => {
+            // Unreadable on the serving side can never be validated by
+            // anyone; evict here rather than shipping garbage.
+            let key = StoreKey::from_hex(&key_hex).expect("validated above");
+            store.evict(&key, &why, &shared.sink);
+            Response::error(404, "miss")
+        }
+    }
+}
+
+/// `POST /store/put`: ingest a full entry envelope (the body is the
+/// document). The envelope is validated — schema, key, checksum — and
+/// stored byte-verbatim, so an entry written through the daemon is
+/// identical to one the client would have written locally.
+fn handle_store_put(shared: &Shared, body: &[u8]) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let Some(key_hex) = json::parse(text)
+        .ok()
+        .and_then(|d| d.get("key").and_then(JsonValue::as_str).map(String::from))
+    else {
+        return Response::error(422, "body is not an entry envelope with a key field");
+    };
+    shared.sink.add(Counter::StoreRemotePuts, 1);
+    match store.ingest(&key_hex, text, &shared.sink) {
+        Ok(()) => Response::json(
+            200,
+            JsonValue::Object(vec![
+                (
+                    "status".to_string(),
+                    JsonValue::String("stored".to_string()),
+                ),
+                ("key".to_string(), JsonValue::String(key_hex)),
+            ]),
+        ),
+        Err(IngestError::Invalid(why)) => Response::error(422, &why),
+        Err(IngestError::Store(e)) => store_error_response(&e),
+    }
+}
+
+/// `POST /store/evict {"key":<hex>}` or `{"journal":<name>}`: a remote
+/// reader failed validation on a document this daemon served and asks
+/// for it to be removed — the write half of the client-side corruption
+/// taxonomy.
+fn handle_store_evict(shared: &Shared, body: &[u8]) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::error(400, "malformed JSON body");
+    };
+    let why = doc
+        .get("why")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("remote eviction")
+        .to_string();
+    if let Some(key_hex) = doc.get("key").and_then(JsonValue::as_str) {
+        let Some(key) = StoreKey::from_hex(key_hex) else {
+            return Response::error(400, "malformed key");
+        };
+        store.evict(&key, &why, &shared.sink);
+    } else if let Some(name) = doc.get("journal").and_then(JsonValue::as_str) {
+        store.remove_journal(name, &why, &shared.sink);
+    } else {
+        return Response::error(400, "body needs a key or journal field");
+    }
+    Response::json(
+        200,
+        JsonValue::Object(vec![(
+            "status".to_string(),
+            JsonValue::String("evicted".to_string()),
+        )]),
+    )
+}
+
+/// `POST /store/claim`: the compare-and-swap distributed campaigns
+/// partition work with. Body: `{"journal":…,"unit":…,"owner":…,
+/// "action":"acquire"|"renew"|"release","key":…,"lease_ms":…}`.
+fn handle_store_claim(shared: &Shared, body: &[u8]) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::error(400, "malformed JSON body");
+    };
+    let field = |name: &str| doc.get(name).and_then(JsonValue::as_str).map(String::from);
+    let (Some(journal), Some(unit), Some(owner)) =
+        (field("journal"), field("unit"), field("owner"))
+    else {
+        return Response::error(400, "body needs journal, unit and owner fields");
+    };
+    let key = field("key").unwrap_or_default();
+    let lease = Duration::from_millis(
+        doc.get("lease_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(30_000),
+    );
+    let action = field("action").unwrap_or_else(|| "acquire".to_string());
+    let outcome = match action.as_str() {
+        "acquire" => store.claim_unit(&journal, &unit, &key, &owner, lease),
+        "renew" => store.renew_claim(&journal, &unit, &owner),
+        "release" => store.release_claim(&journal, &unit, &owner),
+        _ => return Response::error(400, "action must be acquire, renew or release"),
+    };
+    match outcome {
+        Ok(outcome) => {
+            let (tag, broke_stale, holder) = match &outcome {
+                ClaimOutcome::Acquired { broke_stale } => {
+                    shared.sink.add(Counter::StoreClaimsAcquired, 1);
+                    if *broke_stale {
+                        shared.sink.add(Counter::StoreClaimsExpired, 1);
+                    }
+                    ("acquired", *broke_stale, String::new())
+                }
+                ClaimOutcome::Held { owner } => {
+                    shared.sink.add(Counter::StoreClaimsHeld, 1);
+                    ("held", false, owner.clone())
+                }
+                ClaimOutcome::Released => ("released", false, String::new()),
+                ClaimOutcome::NotOwner => ("not_owner", false, String::new()),
+            };
+            Response::json(
+                200,
+                JsonValue::Object(vec![
+                    ("outcome".to_string(), JsonValue::String(tag.to_string())),
+                    ("broke_stale".to_string(), JsonValue::Bool(broke_stale)),
+                    ("owner".to_string(), JsonValue::String(holder)),
+                ]),
+            )
+        }
+        Err(e) => store_error_response(&e),
+    }
+}
+
+/// `GET /store/journal?name=<stem>`: serve the raw journal document,
+/// 404 when absent. Like `/store/get`, the bytes are not validated
+/// here.
+fn handle_store_journal_get(shared: &Shared, query: &str) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let Some(name) = query_param(query, "name") else {
+        return Response::error(400, "missing name=<stem> query parameter");
+    };
+    shared.sink.add(Counter::StoreRemoteJournalOps, 1);
+    match store.load_journal_raw(&name) {
+        RawDoc::Present(text) => Response {
+            status: 200,
+            content_type: "application/json",
+            retry_after: None,
+            body: text,
+        },
+        RawDoc::Missing => Response::error(404, "miss"),
+        RawDoc::Unreadable(why) => {
+            store.remove_journal(&name, &why, &shared.sink);
+            Response::error(404, "miss")
+        }
+    }
+}
+
+/// `POST /store/journal {"name":…,"entry":{"unit":…,"key":…,
+/// "summary":…}}`: merge one completion into the named journal under
+/// its lock and return the merged journal document — the backend-side
+/// half of [`modsoc_store::Journal::record`] for remote workers.
+fn handle_store_journal_merge(shared: &Shared, body: &[u8]) -> Response {
+    let store = match store_handle(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let text = match body_str(body) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let Ok(doc) = json::parse(text) else {
+        return Response::error(400, "malformed JSON body");
+    };
+    let (Some(name), Some(entry)) = (
+        doc.get("name").and_then(JsonValue::as_str),
+        doc.get("entry"),
+    ) else {
+        return Response::error(400, "body needs name and entry fields");
+    };
+    shared.sink.add(Counter::StoreRemoteJournalOps, 1);
+    match store.merge_journal_raw(name, &entry.to_compact(), &shared.sink) {
+        Ok(merged) => Response {
+            status: 200,
+            content_type: "application/json",
+            retry_after: None,
+            body: merged,
+        },
+        Err(IngestError::Invalid(why)) => Response::error(422, &why),
+        Err(IngestError::Store(e)) => store_error_response(&e),
+    }
+}
+
+/// Map a backend [`StoreError`] to a wire status: lock contention is
+/// transient (503 + Retry-After, the client's backoff handles it), I/O
+/// failure is a 500.
+fn store_error_response(e: &modsoc_store::StoreError) -> Response {
+    match e {
+        modsoc_store::StoreError::Contended { .. } => {
+            let mut r = Response::error(503, "store lock contended; retry");
+            r.retry_after = Some(1);
+            r
+        }
+        _ => Response::error(500, &e.to_string()),
     }
 }
 

@@ -92,11 +92,17 @@ pub enum Counter {
     ServeLaneHeavy,
     ServeKeepAliveReuses,
     ServeRequestTimeouts,
+    StoreRemoteGets,
+    StoreRemotePuts,
+    StoreRemoteJournalOps,
+    StoreClaimsAcquired,
+    StoreClaimsHeld,
+    StoreClaimsExpired,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 46] = [
         Counter::FaultsUniverse,
         Counter::FaultsCollapsed,
         Counter::RandomPatternsKept,
@@ -137,6 +143,12 @@ impl Counter {
         Counter::ServeLaneHeavy,
         Counter::ServeKeepAliveReuses,
         Counter::ServeRequestTimeouts,
+        Counter::StoreRemoteGets,
+        Counter::StoreRemotePuts,
+        Counter::StoreRemoteJournalOps,
+        Counter::StoreClaimsAcquired,
+        Counter::StoreClaimsHeld,
+        Counter::StoreClaimsExpired,
     ];
 
     /// Position in [`Counter::ALL`] (the sink's array index).
@@ -202,6 +214,19 @@ impl Counter {
             Counter::ServeLaneHeavy => "serve_lane_heavy",
             Counter::ServeKeepAliveReuses => "serve_keepalive_reuses",
             Counter::ServeRequestTimeouts => "serve_request_timeouts",
+            // Remote-store traffic: counted by the `modsoc serve`
+            // daemon's `/store/*` endpoints (and by an `HttpBackend`
+            // client on its side). Cache-state- and topology-dependent,
+            // so they ride the `"store_` determinism-filter exemption.
+            Counter::StoreRemoteGets => "store_remote_gets",
+            Counter::StoreRemotePuts => "store_remote_puts",
+            Counter::StoreRemoteJournalOps => "store_remote_journal_ops",
+            // Claim/lease traffic from distributed `modsoc campaign`
+            // workers partitioning a shared spec (CAS on unit + content
+            // key). Contention-dependent, hence `store_`-exempted too.
+            Counter::StoreClaimsAcquired => "store_claims_acquired",
+            Counter::StoreClaimsHeld => "store_claims_held",
+            Counter::StoreClaimsExpired => "store_claims_expired",
         }
     }
 }

@@ -16,12 +16,13 @@
 //! and a damaged journal is evicted (logged, counted) and treated as
 //! empty — the campaign recomputes instead of crashing.
 
-use crate::lock::{LockOptions, StoreLock};
-use crate::{atomic_write, payload_check, ResultStore, StoreError, STORE_SCHEMA};
+use crate::backend::{RawDoc, StoreBackend};
+use crate::{payload_check, IngestError, ResultStore, StoreError, STORE_SCHEMA};
 use modsoc_metrics::json::{self, JsonValue};
 use modsoc_metrics::MetricsSink;
 use std::fs;
-use std::path::PathBuf;
+use std::path::Path;
+use std::sync::Arc;
 
 /// One journaled completion.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,19 +35,22 @@ pub struct JournalEntry {
     pub summary: JsonValue,
 }
 
-/// An on-disk list of completed units, rewritten atomically on every
-/// [`Journal::record`] under a cross-process advisory lock: two
-/// processes journaling the same campaign merge their completions
-/// instead of losing them to a read-modify-write race.
+/// A durable list of completed units, merged-and-rewritten atomically
+/// on every [`Journal::record`] under the backend's cross-process
+/// advisory lock: two processes journaling the same campaign merge
+/// their completions instead of losing them to a read-modify-write
+/// race. The merge itself runs *backend-side* — on the local directory
+/// for [`crate::LocalBackend`], on the serve daemon for the HTTP
+/// backend — so N workers on separate machines share one journal.
 #[derive(Debug)]
 pub struct Journal {
-    path: PathBuf,
-    lock_path: PathBuf,
+    backend: Arc<dyn StoreBackend>,
+    stem: String,
     entries: Vec<JournalEntry>,
 }
 
 /// Map a journal name to a safe file stem (alphanumerics, `-`, `_`).
-fn sanitize(name: &str) -> String {
+pub(crate) fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| {
@@ -63,19 +67,24 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+fn entry_to_json(e: &JournalEntry) -> JsonValue {
+    JsonValue::Object(vec![
+        ("unit".to_string(), JsonValue::String(e.unit.clone())),
+        ("key".to_string(), JsonValue::String(e.key.clone())),
+        ("summary".to_string(), e.summary.clone()),
+    ])
+}
+
+fn entry_from_json(item: &JsonValue) -> Option<JournalEntry> {
+    Some(JournalEntry {
+        unit: item.get("unit")?.as_str()?.to_string(),
+        key: item.get("key")?.as_str()?.to_string(),
+        summary: item.get("summary")?.clone(),
+    })
+}
+
 fn entries_to_json(entries: &[JournalEntry]) -> JsonValue {
-    JsonValue::Array(
-        entries
-            .iter()
-            .map(|e| {
-                JsonValue::Object(vec![
-                    ("unit".to_string(), JsonValue::String(e.unit.clone())),
-                    ("key".to_string(), JsonValue::String(e.key.clone())),
-                    ("summary".to_string(), e.summary.clone()),
-                ])
-            })
-            .collect(),
-    )
+    JsonValue::Array(entries.iter().map(entry_to_json).collect())
 }
 
 fn entries_from_json(doc: &JsonValue) -> Option<Vec<JournalEntry>> {
@@ -88,13 +97,50 @@ fn entries_from_json(doc: &JsonValue) -> Option<Vec<JournalEntry>> {
     }
     let mut entries = Vec::new();
     for item in payload.as_array()? {
-        entries.push(JournalEntry {
-            unit: item.get("unit")?.as_str()?.to_string(),
-            key: item.get("key")?.as_str()?.to_string(),
-            summary: item.get("summary")?.clone(),
-        });
+        entries.push(entry_from_json(item)?);
     }
     Some(entries)
+}
+
+fn entries_from_text(text: &str) -> Option<Vec<JournalEntry>> {
+    json::parse(text).ok().as_ref().and_then(entries_from_json)
+}
+
+/// Serialize `entries` into the checksummed journal envelope.
+fn journal_doc(entries: &[JournalEntry]) -> String {
+    let payload = entries_to_json(entries);
+    JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::Number(STORE_SCHEMA as f64)),
+        (
+            "check".to_string(),
+            JsonValue::String(payload_check(&payload)),
+        ),
+        ("entries".to_string(), payload),
+    ])
+    .to_compact()
+}
+
+/// The backend-side merge step for [`crate::LocalBackend`]: read the
+/// on-disk journal at `path` (a corrupt or absent one contributes
+/// nothing — `open_journal` owns corruption accounting), replace any
+/// entry with the incoming entry's unit name, append the incoming
+/// entry, and return the serialized merged document. Call with the
+/// journal lock held.
+pub(crate) fn merge_entry_into(path: &Path, entry_doc: &str) -> String {
+    let mut entries = fs::read_to_string(path)
+        .ok()
+        .as_deref()
+        .and_then(entries_from_text)
+        .unwrap_or_default();
+    if let Some(incoming) = json::parse(entry_doc)
+        .ok()
+        .as_ref()
+        .and_then(entry_from_json)
+    {
+        entries.retain(|e| e.unit != incoming.unit);
+        entries.push(incoming);
+    }
+    journal_doc(&entries)
 }
 
 impl Journal {
@@ -113,61 +159,60 @@ impl Journal {
     }
 
     /// Record a completion and persist the journal atomically and
-    /// durably (the rewrite fsyncs both the file and its parent
+    /// durably (the local rewrite fsyncs both the file and its parent
     /// directory). An existing entry with the same unit name is
     /// replaced (re-run after a spec change).
     ///
-    /// The rewrite runs under the journal's cross-process advisory
-    /// lock and first merges completions another process journaled
-    /// since this handle loaded the file, so two campaign runners
-    /// sharing one journal each keep the other's progress. Write
-    /// retries are reported through `sink` as `store_retries`.
+    /// The merge-and-rewrite runs backend-side under the journal's
+    /// cross-process advisory lock, and the merged document it returns
+    /// — this entry plus every completion any other process has
+    /// journaled — is adopted as this handle's entry list, so two
+    /// campaign runners sharing one journal each keep the other's
+    /// progress. Write retries are reported through `sink` as
+    /// `store_retries`.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] when the journal file cannot be
-    /// rewritten and [`StoreError::Contended`] when another process
-    /// holds the journal lock past the deadline; the in-memory entry is
-    /// kept either way so the current process still sees the
-    /// completion.
+    /// Returns [`StoreError::Io`] when the journal cannot be rewritten
+    /// and [`StoreError::Contended`] when another process holds the
+    /// journal lock past the deadline; the in-memory entry is kept
+    /// either way so the current process still sees the completion.
     pub fn record(
         &mut self,
         entry: JournalEntry,
         sink: &dyn MetricsSink,
     ) -> Result<(), StoreError> {
+        let entry_doc = entry_to_json(&entry).to_compact();
         self.entries.retain(|e| e.unit != entry.unit);
         self.entries.push(entry);
-        let _guard = StoreLock::acquire(&self.lock_path, LockOptions::default())?;
-        // Adopt completions a concurrent process journaled since we
-        // loaded; units we already know (by name) keep our version. A
-        // corrupt on-disk journal is simply superseded by the rewrite —
-        // open_journal owns corruption accounting.
-        if let Ok(text) = fs::read_to_string(&self.path) {
-            if let Some(disk) = json::parse(&text).ok().as_ref().and_then(entries_from_json) {
-                for foreign in disk {
-                    if !self.entries.iter().any(|e| e.unit == foreign.unit) {
-                        self.entries.push(foreign);
-                    }
-                }
-            }
-        }
-        let payload = entries_to_json(&self.entries);
-        let doc = JsonValue::Object(vec![
-            (
-                "schema".to_string(),
-                JsonValue::Number(crate::STORE_SCHEMA as f64),
-            ),
-            (
-                "check".to_string(),
-                JsonValue::String(payload_check(&payload)),
-            ),
-            ("entries".to_string(), payload),
-        ]);
-        let retries = atomic_write(&self.path, &doc.to_compact())?;
+        let (merged, retries) = self.backend.merge_journal(&self.stem, &entry_doc)?;
         if retries > 0 {
             sink.add(modsoc_metrics::Counter::StoreRetries, retries);
         }
+        if let Some(entries) = entries_from_text(&merged) {
+            self.entries = entries;
+        }
         Ok(())
+    }
+
+    /// Reload the journal from the backend, adopting completions other
+    /// workers recorded since this handle last synced. Entries this
+    /// handle knows that are missing from the backend copy (e.g. a
+    /// record whose persist failed) are kept. A corrupt or unreadable
+    /// backend copy changes nothing — the next `record` supersedes it.
+    pub fn refresh(&mut self) {
+        let RawDoc::Present(text) = self.backend.load_journal(&self.stem) else {
+            return;
+        };
+        let Some(mut disk) = entries_from_text(&text) else {
+            return;
+        };
+        for own in std::mem::take(&mut self.entries) {
+            if !disk.iter().any(|e| e.unit == own.unit) {
+                disk.push(own);
+            }
+        }
+        self.entries = disk;
     }
 }
 
@@ -180,36 +225,83 @@ impl ResultStore {
     #[must_use]
     pub fn open_journal(&self, name: &str, sink: &dyn MetricsSink) -> Journal {
         let stem = sanitize(name);
-        let path = self.journals_dir().join(format!("{stem}.json"));
         let mut journal = Journal {
-            path: path.clone(),
-            lock_path: self.locks_dir().join(format!("journal-{stem}.lock")),
+            backend: Arc::clone(self.backend()),
+            stem: stem.clone(),
             entries: Vec::new(),
         };
         // An absent journal is a fresh campaign; a present-but-unreadable
         // one (e.g. invalid UTF-8 from a torn write) is corruption, not
         // absence, and must be evicted like any other damage.
-        let text = match fs::File::open(&path) {
-            Err(_) => return journal, // absent: fresh journal
-            Ok(mut f) => {
-                use std::io::Read;
-                let mut text = String::new();
-                f.read_to_string(&mut text).ok().map(|_| text)
-            }
-        };
-        let parsed = text.as_deref().and_then(|t| json::parse(t).ok());
-        match parsed.as_ref().and_then(entries_from_json) {
-            Some(entries) => journal.entries = entries,
-            None => {
-                eprintln!(
-                    "store: evicting journal {} (corrupt or stale)",
-                    path.display()
-                );
-                let _ = fs::remove_file(&path);
-                self.note_eviction(sink);
+        match self.backend().load_journal(&stem) {
+            RawDoc::Missing => {}
+            RawDoc::Present(text) => match entries_from_text(&text) {
+                Some(entries) => journal.entries = entries,
+                None => {
+                    if self.backend().remove_journal(&stem, "corrupt or stale") {
+                        self.note_eviction(sink);
+                    }
+                }
+            },
+            RawDoc::Unreadable(why) => {
+                if self.backend().remove_journal(&stem, &why) {
+                    self.note_eviction(sink);
+                }
             }
         }
         journal
+    }
+
+    /// Read the raw journal document named `name` without validating —
+    /// the serve daemon's `GET /store/journal`.
+    #[must_use]
+    pub fn load_journal_raw(&self, name: &str) -> RawDoc {
+        self.backend().load_journal(&sanitize(name))
+    }
+
+    /// Merge one wire completion entry (`{"unit":…,"key":…,
+    /// "summary":…}`) into the journal named `name` and return the
+    /// merged journal document — the serve daemon's
+    /// `POST /store/journal`. Write retries are reported through
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Invalid`] when the entry document is malformed;
+    /// [`IngestError::Store`] when the journal cannot be rewritten.
+    pub fn merge_journal_raw(
+        &self,
+        name: &str,
+        entry_doc: &str,
+        sink: &dyn MetricsSink,
+    ) -> Result<String, IngestError> {
+        if json::parse(entry_doc)
+            .ok()
+            .as_ref()
+            .and_then(entry_from_json)
+            .is_none()
+        {
+            return Err(IngestError::Invalid(
+                "journal entry must have unit, key and summary".to_string(),
+            ));
+        }
+        let (merged, retries) = self
+            .backend()
+            .merge_journal(&sanitize(name), entry_doc)
+            .map_err(IngestError::Store)?;
+        self.note_retries(retries, sink);
+        Ok(merged)
+    }
+
+    /// Remove the journal named `name` (corruption eviction requested
+    /// by a remote reader — the serve daemon's journal evict). Counted
+    /// when a file was actually removed.
+    pub fn remove_journal(&self, name: &str, why: &str, sink: &dyn MetricsSink) -> bool {
+        let removed = self.backend().remove_journal(&sanitize(name), why);
+        if removed {
+            self.note_eviction(sink);
+        }
+        removed
     }
 }
 
@@ -217,7 +309,7 @@ impl ResultStore {
 mod tests {
     use super::*;
     use modsoc_metrics::NullSink;
-    use std::path::Path;
+    use std::path::{Path, PathBuf};
 
     fn temp_store(tag: &str) -> (PathBuf, ResultStore) {
         let dir =

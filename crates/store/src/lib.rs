@@ -18,15 +18,23 @@
 //!   journaled.
 //! * [`sha256`] — the hand-rolled FIPS 180-4 digest both of the above
 //!   are built on (the workspace vendors no crypto crate).
+//! * [`backend`] — the transport seam: [`ResultStore`] owns envelope
+//!   validation and accounting while a [`StoreBackend`] moves raw
+//!   documents. [`LocalBackend`] is the original directory layout
+//!   (byte-compatible with pre-trait stores); `modsoc_core::remote`
+//!   adds an HTTP backend speaking to a `modsoc serve --store` daemon,
+//!   plus the claim/lease primitive distributed campaigns partition
+//!   work with.
 //!
-//! The store keeps no size bounds and no remote backends (see ROADMAP
-//! open items). Concurrent writers are safe at three levels: the atomic
-//! rename makes individual entries torn-proof, entry and journal writes
-//! additionally take a cross-process advisory [`lock::StoreLock`]
-//! (lock-file + jittered backoff, see [`lock`]) so a `modsoc serve`
-//! daemon and a sidecar campaign can share one store, and transient
-//! `create`/`rename` failures are retried with bounded backoff rather
-//! than surfacing as spurious errors.
+//! The store is size-bounded only on demand: [`ResultStore::gc`] is an
+//! oldest-atime-first eviction pass (`modsoc store gc --max-bytes`).
+//! Concurrent writers are safe at three levels: the atomic rename makes
+//! individual entries torn-proof, entry and journal writes additionally
+//! take a cross-process advisory [`lock::StoreLock`] (lock-file +
+//! jittered backoff, see [`lock`]) so a `modsoc serve` daemon and a
+//! sidecar campaign can share one store, and transient `create`/`rename`
+//! failures are retried with bounded backoff rather than surfacing as
+//! spurious errors.
 //!
 //! Cache traffic is observable through [`modsoc_metrics`]: every
 //! [`ResultStore`] operation bumps a process-local counter *and* reports
@@ -36,10 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod journal;
 pub mod lock;
 pub mod sha256;
 
+pub use backend::{
+    ClaimAction, ClaimOutcome, ClaimRequest, EntryMeta, LocalBackend, RawDoc, StoreBackend,
+};
 pub use journal::{Journal, JournalEntry};
 pub use lock::{LockOptions, StoreLock};
 
@@ -47,9 +59,11 @@ use modsoc_metrics::json::{self, JsonValue};
 use modsoc_metrics::{Counter, MetricsSink};
 use std::fmt;
 use std::fs;
-use std::io::{self, Read as _, Write as _};
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// On-disk schema version. Bumping it invalidates every existing entry:
 /// `open` evicts objects whose manifest does not match, and `get`
@@ -69,6 +83,29 @@ impl StoreKey {
     #[must_use]
     pub fn hex(&self) -> String {
         sha256::hex(&self.0)
+    }
+
+    /// Parse the 64-character lowercase hex form back into a key.
+    /// Returns `None` for anything else (wrong length, uppercase,
+    /// non-hex) — the strictness doubles as path-safety for keys that
+    /// arrive over the wire.
+    #[must_use]
+    pub fn from_hex(hex: &str) -> Option<StoreKey> {
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let nib = |c: u8| match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                _ => None,
+            };
+            let hi = nib(hex.as_bytes()[2 * i])?;
+            let lo = nib(hex.as_bytes()[2 * i + 1])?;
+            *byte = (hi << 4) | lo;
+        }
+        Some(StoreKey(out))
     }
 }
 
@@ -221,19 +258,86 @@ pub fn payload_check(payload: &JsonValue) -> String {
     sha256::hex(&sha256::digest(payload.to_compact().as_bytes()))
 }
 
-/// A content-addressed result store rooted at one directory.
+/// Validate one raw entry document against the envelope contract:
+/// parseable JSON, current schema, a `key` field equal to `key_hex`,
+/// and a `check` field equal to the payload's checksum. Returns the
+/// payload on success and the taxonomy's eviction reason on failure.
 ///
-/// Layout:
+/// This is *the* corruption taxonomy — [`ResultStore::get`] runs it on
+/// every read regardless of backend, the serve daemon runs it before
+/// ingesting a `/store/put`, and `verify_all` runs it per entry.
 ///
-/// ```text
-/// <root>/manifest.json            {"format":"modsoc-store","schema":1}
-/// <root>/objects/<key-hex>.json   {"schema":1,"key":…,"check":…,"payload":…}
-/// <root>/journals/<name>.json     campaign completion journals
-/// <root>/locks/<name>.lock        advisory locks (held = file exists)
-/// ```
+/// # Errors
+///
+/// The eviction reason: `"malformed JSON"`, `"schema mismatch"`,
+/// `"key mismatch"`, `"missing payload"` or `"checksum mismatch"`.
+pub fn validate_entry_doc(key_hex: &str, text: &str) -> Result<JsonValue, String> {
+    let Ok(doc) = json::parse(text) else {
+        return Err("malformed JSON".to_string());
+    };
+    if doc.get("schema").and_then(JsonValue::as_u64) != Some(STORE_SCHEMA) {
+        return Err("schema mismatch".to_string());
+    }
+    if doc.get("key").and_then(JsonValue::as_str) != Some(key_hex) {
+        return Err("key mismatch".to_string());
+    }
+    let Some(payload) = doc.get("payload") else {
+        return Err("missing payload".to_string());
+    };
+    if doc.get("check").and_then(JsonValue::as_str) != Some(payload_check(payload).as_str()) {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(payload.clone())
+}
+
+/// Why [`ResultStore::ingest`] or [`ResultStore::merge_journal_raw`]
+/// refused a wire document.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The document failed validation; the payload is the reason
+    /// (reported to the sender as a 422).
+    Invalid(String),
+    /// The document was valid but could not be stored.
+    Store(StoreError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Invalid(why) => write!(f, "invalid document: {why}"),
+            IngestError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Outcome of a [`ResultStore::gc`] sweep.
+#[derive(Debug, Clone)]
+pub struct GcReport {
+    /// Entries present before the sweep.
+    pub scanned: usize,
+    /// Content addresses evicted, oldest-first.
+    pub evicted: Vec<String>,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Entries kept.
+    pub kept: usize,
+    /// Bytes kept.
+    pub kept_bytes: u64,
+}
+
+/// A content-addressed result store over a pluggable [`StoreBackend`].
+///
+/// The wrapper owns the store's *semantics* — envelope construction,
+/// the read-side corruption taxonomy, hit/miss/write/eviction
+/// accounting — and delegates raw document I/O to the backend:
+/// [`LocalBackend`] (the original directory layout, the default from
+/// [`ResultStore::open`]) or any other [`StoreBackend`] via
+/// [`ResultStore::with_backend`].
 #[derive(Debug)]
 pub struct ResultStore {
-    root: PathBuf,
+    backend: Arc<dyn StoreBackend>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -242,7 +346,8 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// Open (creating if necessary) the store rooted at `dir`.
+    /// Open (creating if necessary) the directory-backed store rooted
+    /// at `dir`.
     ///
     /// A missing directory is created and stamped with a manifest. An
     /// existing directory with a corrupt or schema-mismatched manifest
@@ -255,108 +360,40 @@ impl ResultStore {
     /// Returns [`StoreError::Io`] when the directory tree or manifest
     /// cannot be created.
     pub fn open(dir: &Path) -> Result<ResultStore, StoreError> {
-        let store = ResultStore {
-            root: dir.to_path_buf(),
+        let (backend, reset_evictions) = LocalBackend::open(dir)?;
+        let store = ResultStore::with_backend(Arc::new(backend));
+        store
+            .evictions
+            .fetch_add(reset_evictions, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// Wrap an already-constructed backend (e.g. an HTTP client
+    /// speaking to a `modsoc serve --store` daemon). The full read-side
+    /// corruption taxonomy applies regardless of transport.
+    #[must_use]
+    pub fn with_backend(backend: Arc<dyn StoreBackend>) -> ResultStore {
+        ResultStore {
+            backend,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             retries: AtomicU64::new(0),
-        };
-        fs::create_dir_all(store.objects_dir()).map_err(|e| io_err(&store.objects_dir(), e))?;
-        fs::create_dir_all(store.journals_dir()).map_err(|e| io_err(&store.journals_dir(), e))?;
-        fs::create_dir_all(store.locks_dir()).map_err(|e| io_err(&store.locks_dir(), e))?;
-        let manifest = store.root.join("manifest.json");
-        if !store.manifest_is_current(&manifest) {
-            if manifest.exists() {
-                eprintln!(
-                    "store: manifest at {} is corrupt or from another schema; resetting store",
-                    manifest.display()
-                );
-                store.evict_all();
-            }
-            let doc = JsonValue::Object(vec![
-                (
-                    "format".to_string(),
-                    JsonValue::String(STORE_FORMAT.to_string()),
-                ),
-                ("schema".to_string(), JsonValue::Number(STORE_SCHEMA as f64)),
-            ]);
-            atomic_write(&manifest, &doc.to_compact())?;
         }
-        Ok(store)
     }
 
-    /// Root directory this store was opened at.
+    /// The transport under this store.
     #[must_use]
-    pub fn root(&self) -> &Path {
-        &self.root
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
     }
 
-    fn objects_dir(&self) -> PathBuf {
-        self.root.join("objects")
-    }
-
-    pub(crate) fn journals_dir(&self) -> PathBuf {
-        self.root.join("journals")
-    }
-
-    pub(crate) fn locks_dir(&self) -> PathBuf {
-        self.root.join("locks")
-    }
-
-    fn entry_path(&self, key: &StoreKey) -> PathBuf {
-        self.objects_dir().join(format!("{}.json", key.hex()))
-    }
-
-    /// Take the cross-process advisory lock guarding `key`'s entry —
-    /// the same lock [`ResultStore::put`] takes internally. The lock is
-    /// not re-entrant: do not call `put` for `key` while holding it
-    /// (release first; the write itself re-serializes).
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Contended`] when a live holder outlasts the
-    /// deadline; [`StoreError::Io`] when the lock file cannot be
-    /// created.
-    pub fn lock_entry(&self, key: &StoreKey, opts: LockOptions) -> Result<StoreLock, StoreError> {
-        StoreLock::acquire(&self.locks_dir().join(format!("{}.lock", key.hex())), opts)
-    }
-
-    fn manifest_is_current(&self, manifest: &Path) -> bool {
-        let Ok(text) = fs::read_to_string(manifest) else {
-            return false;
-        };
-        let Ok(doc) = json::parse(&text) else {
-            return false;
-        };
-        doc.get("format").and_then(JsonValue::as_str) == Some(STORE_FORMAT)
-            && doc.get("schema").and_then(JsonValue::as_u64) == Some(STORE_SCHEMA)
-    }
-
-    /// Remove every object and journal, counting each removed file as an
-    /// eviction. Used when the manifest says the entries cannot be
-    /// trusted.
-    fn evict_all(&self) {
-        for dir in [self.objects_dir(), self.journals_dir()] {
-            let Ok(entries) = fs::read_dir(&dir) else {
-                continue;
-            };
-            for entry in entries.flatten() {
-                if fs::remove_file(entry.path()).is_ok() {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
-    /// Remove one entry file because it failed validation; counted as an
-    /// eviction and logged, never an error.
-    fn evict_entry(&self, path: &Path, why: &str, sink: &dyn MetricsSink) {
-        eprintln!("store: evicting {} ({why})", path.display());
-        let _ = fs::remove_file(path);
-        self.evictions.fetch_add(1, Ordering::Relaxed);
-        sink.add(Counter::StoreEvictions, 1);
+    /// Human-readable locator of the backing storage (directory path or
+    /// base URL), for logs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        self.backend.describe()
     }
 
     /// Remove the entry for `key` because the caller could not use it —
@@ -364,9 +401,8 @@ impl ResultStore {
     /// into the expected result shape. Logged and counted as an
     /// eviction; a no-op when no entry exists.
     pub fn evict(&self, key: &StoreKey, why: &str, sink: &dyn MetricsSink) {
-        let path = self.entry_path(key);
-        if path.exists() {
-            self.evict_entry(&path, why, sink);
+        if self.backend.remove_entry(&key.hex(), why) {
+            self.note_eviction(sink);
         }
     }
 
@@ -377,54 +413,46 @@ impl ResultStore {
     /// miss; validation failures additionally evict the entry so the
     /// next write replaces it. This is the corruption-tolerance
     /// contract: a damaged store degrades to recomputation, it does not
-    /// crash or serve garbage.
+    /// crash or serve garbage. The taxonomy runs *here*, on the
+    /// consuming side, whatever the backend — a remote store serving
+    /// damaged bytes is observed as a client-side eviction.
     pub fn get(&self, key: &StoreKey, sink: &dyn MetricsSink) -> Option<JsonValue> {
-        let path = self.entry_path(key);
-        let mut text = String::new();
-        match fs::File::open(&path) {
-            Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                sink.add(Counter::StoreMisses, 1);
-                return None;
-            }
-            Ok(mut f) => {
-                if f.read_to_string(&mut text).is_err() {
-                    self.evict_entry(&path, "unreadable", sink);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    sink.add(Counter::StoreMisses, 1);
-                    return None;
-                }
-            }
+        let hex = key.hex();
+        if self.backend.is_remote() {
+            sink.add(Counter::StoreRemoteGets, 1);
         }
-        let reject = |why: &str| {
-            self.evict_entry(&path, why, sink);
+        let miss = || {
             self.misses.fetch_add(1, Ordering::Relaxed);
             sink.add(Counter::StoreMisses, 1);
         };
-        let Ok(doc) = json::parse(&text) else {
-            reject("malformed JSON");
-            return None;
+        let text = match self.backend.load_entry(&hex) {
+            RawDoc::Missing => {
+                miss();
+                return None;
+            }
+            RawDoc::Unreadable(why) => {
+                if self.backend.remove_entry(&hex, &why) {
+                    self.note_eviction(sink);
+                }
+                miss();
+                return None;
+            }
+            RawDoc::Present(text) => text,
         };
-        if doc.get("schema").and_then(JsonValue::as_u64) != Some(STORE_SCHEMA) {
-            reject("schema mismatch");
-            return None;
+        match validate_entry_doc(&hex, &text) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                sink.add(Counter::StoreHits, 1);
+                Some(payload)
+            }
+            Err(why) => {
+                if self.backend.remove_entry(&hex, &why) {
+                    self.note_eviction(sink);
+                }
+                miss();
+                None
+            }
         }
-        if doc.get("key").and_then(JsonValue::as_str) != Some(key.hex().as_str()) {
-            reject("key mismatch");
-            return None;
-        }
-        let Some(payload) = doc.get("payload") else {
-            reject("missing payload");
-            return None;
-        };
-        if doc.get("check").and_then(JsonValue::as_str) != Some(payload_check(payload).as_str()) {
-            reject("checksum mismatch");
-            return None;
-        }
-        let payload = payload.clone();
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        sink.add(Counter::StoreHits, 1);
-        Some(payload)
     }
 
     /// Store `payload` under `key` (atomically, replacing any previous
@@ -453,8 +481,49 @@ impl ResultStore {
             ),
             ("payload".to_string(), payload.clone()),
         ]);
-        let _guard = self.lock_entry(key, LockOptions::default())?;
-        let retries = atomic_write(&self.entry_path(key), &doc.to_compact())?;
+        if self.backend.is_remote() {
+            sink.add(Counter::StoreRemotePuts, 1);
+        }
+        let retries = self.backend.store_entry(&key.hex(), &doc.to_compact())?;
+        self.note_retries(retries, sink);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        sink.add(Counter::StoreWrites, 1);
+        Ok(())
+    }
+
+    /// Read the raw entry document under `key_hex` without validating
+    /// or counting — the serve daemon's `/store/get` uses this so
+    /// validation happens exactly once, on the consuming client.
+    #[must_use]
+    pub fn load_entry_raw(&self, key_hex: &str) -> RawDoc {
+        self.backend.load_entry(key_hex)
+    }
+
+    /// Store an already-enveloped wire document under `key_hex` after
+    /// validating it — the serve daemon's `/store/put`. The received
+    /// bytes are stored verbatim (no re-serialization), so the entry a
+    /// client wrote through the daemon is byte-identical to one it
+    /// would have written to a local store.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::Invalid`] when `key_hex` is not a well-formed key
+    /// or the document fails the envelope contract;
+    /// [`IngestError::Store`] when the write itself fails.
+    pub fn ingest(
+        &self,
+        key_hex: &str,
+        doc: &str,
+        sink: &dyn MetricsSink,
+    ) -> Result<(), IngestError> {
+        if StoreKey::from_hex(key_hex).is_none() {
+            return Err(IngestError::Invalid("malformed key".to_string()));
+        }
+        validate_entry_doc(key_hex, doc).map_err(IngestError::Invalid)?;
+        let retries = self
+            .backend
+            .store_entry(key_hex, doc)
+            .map_err(IngestError::Store)?;
         self.note_retries(retries, sink);
         self.writes.fetch_add(1, Ordering::Relaxed);
         sink.add(Counter::StoreWrites, 1);
@@ -471,37 +540,127 @@ impl ResultStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] only when the objects directory
-    /// itself cannot be listed; unreadable *entries* count as corrupt.
+    /// Returns [`StoreError::Io`] only when the store cannot be
+    /// enumerated (remote backends never can — sweeps run where the
+    /// bytes live); unreadable *entries* count as corrupt.
     pub fn verify_all(&self) -> Result<(usize, usize), StoreError> {
-        let dir = self.objects_dir();
-        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
-        let (mut valid, mut corrupt) = (0usize, 0usize);
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or_default()
-                .to_string();
-            let ok = fs::read_to_string(&path)
-                .ok()
-                .and_then(|text| json::parse(&text).ok())
-                .is_some_and(|doc| {
-                    doc.get("schema").and_then(JsonValue::as_u64) == Some(STORE_SCHEMA)
-                        && doc.get("key").and_then(JsonValue::as_str) == Some(stem.as_str())
-                        && matches!(
-                            (doc.get("payload"), doc.get("check").and_then(JsonValue::as_str)),
-                            (Some(p), Some(c)) if c == payload_check(p)
-                        )
-                });
-            if ok {
-                valid += 1;
-            } else {
-                corrupt += 1;
+        self.backend.verify_all()
+    }
+
+    /// Size-bounded eviction pass: while the store's total entry size
+    /// exceeds `max_bytes`, evict the least-recently-accessed entry
+    /// (oldest atime first, mtime where atime is not tracked, key hex
+    /// as the deterministic tiebreak). Journals are never collected —
+    /// only objects, which are recomputable by construction. Each
+    /// eviction is logged and counted like any other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the store cannot be enumerated
+    /// (remote backends included — GC runs where the bytes live, e.g.
+    /// `modsoc store gc` on the serve daemon's directory).
+    pub fn gc(&self, max_bytes: u64, sink: &dyn MetricsSink) -> Result<GcReport, StoreError> {
+        let mut metas = self.backend.entry_meta()?;
+        metas.sort_by(|a, b| {
+            a.last_access
+                .cmp(&b.last_access)
+                .then_with(|| a.key_hex.cmp(&b.key_hex))
+        });
+        let scanned = metas.len();
+        let mut total: u64 = metas.iter().map(|m| m.bytes).sum();
+        let mut evicted = Vec::new();
+        let mut evicted_bytes = 0u64;
+        for meta in &metas {
+            if total <= max_bytes {
+                break;
+            }
+            if self.backend.remove_entry(&meta.key_hex, "gc: size bound") {
+                self.note_eviction(sink);
+                total -= meta.bytes;
+                evicted_bytes += meta.bytes;
+                evicted.push(meta.key_hex.clone());
             }
         }
-        Ok((valid, corrupt))
+        Ok(GcReport {
+            scanned,
+            kept: scanned - evicted.len(),
+            kept_bytes: total,
+            evicted,
+            evicted_bytes,
+        })
+    }
+
+    /// Acquire the `(journal, unit)` claim for `owner` with the given
+    /// lease — the compare-and-swap distributed campaigns partition
+    /// work with. A claim whose lease has expired (holder killed) is
+    /// broken and re-offered; re-acquiring one's own live claim renews
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on transport failure or unresolved CAS races.
+    pub fn claim_unit(
+        &self,
+        journal: &str,
+        unit: &str,
+        key: &str,
+        owner: &str,
+        lease: Duration,
+    ) -> Result<ClaimOutcome, StoreError> {
+        self.backend.claim(&ClaimRequest {
+            journal,
+            unit,
+            key,
+            owner,
+            lease,
+            action: ClaimAction::Acquire,
+        })
+    }
+
+    /// Refresh `owner`'s live claim on `(journal, unit)`, extending its
+    /// lease. Returns [`ClaimOutcome::NotOwner`] when the claim expired
+    /// and was taken by someone else.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on transport failure.
+    pub fn renew_claim(
+        &self,
+        journal: &str,
+        unit: &str,
+        owner: &str,
+    ) -> Result<ClaimOutcome, StoreError> {
+        self.backend.claim(&ClaimRequest {
+            journal,
+            unit,
+            key: "",
+            owner,
+            lease: Duration::ZERO,
+            action: ClaimAction::Renew,
+        })
+    }
+
+    /// Drop `owner`'s claim on `(journal, unit)` so the unit is
+    /// immediately re-offerable. Idempotent: releasing an absent claim
+    /// is [`ClaimOutcome::Released`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on transport failure.
+    pub fn release_claim(
+        &self,
+        journal: &str,
+        unit: &str,
+        owner: &str,
+    ) -> Result<ClaimOutcome, StoreError> {
+        self.backend.claim(&ClaimRequest {
+            journal,
+            unit,
+            key: "",
+            owner,
+            lease: Duration::ZERO,
+            action: ClaimAction::Release,
+        })
     }
 
     /// Cache hits since this handle was opened.
@@ -578,6 +737,10 @@ mod tests {
         StoreKey(sha256::digest(data))
     }
 
+    fn entry_path(root: &Path, key: &StoreKey) -> PathBuf {
+        root.join("objects").join(format!("{}.json", key.hex()))
+    }
+
     fn sample_payload() -> JsonValue {
         json::parse(r#"{"patterns":["01X","1X0"],"coverage":0.875}"#).unwrap()
     }
@@ -608,7 +771,7 @@ mod tests {
         let store = ResultStore::open(&root).unwrap();
         let key = key_of(b"unit-2");
         store.put(&key, &sample_payload(), &NullSink).unwrap();
-        let path = store.entry_path(&key);
+        let path = entry_path(&root, &key);
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, &text[..text.len() / 2]).unwrap();
         assert!(store.get(&key, &NullSink).is_none());
@@ -626,7 +789,7 @@ mod tests {
         let store = ResultStore::open(&root).unwrap();
         let key = key_of(b"unit-3");
         store.put(&key, &sample_payload(), &NullSink).unwrap();
-        let path = store.entry_path(&key);
+        let path = entry_path(&root, &key);
         // Flip a digit inside the payload; the envelope stays
         // well-formed JSON but the checksum no longer matches.
         let text = fs::read_to_string(&path).unwrap();
@@ -647,7 +810,7 @@ mod tests {
         store.put(&a, &sample_payload(), &NullSink).unwrap();
         // Copy a's entry into b's slot: self-consistent, but addressed
         // wrong — must be rejected.
-        fs::copy(store.entry_path(&a), store.entry_path(&b)).unwrap();
+        fs::copy(entry_path(&root, &a), entry_path(&root, &b)).unwrap();
         assert!(store.get(&b, &NullSink).is_none());
         assert_eq!(store.evictions(), 1);
         assert!(store.get(&a, &NullSink).is_some(), "a is untouched");

@@ -7,8 +7,10 @@
 # Opt-in extras:
 #   MODSOC_BENCH_GATE=1 ./ci.sh   also runs the perf-regression gates:
 #                                 atpg_phase_bench --check BENCH_pr7.json
-#                                 for the engine, and loadgen --check
-#                                 BENCH_serve.json for serving throughput.
+#                                 for the engine, loadgen --check
+#                                 BENCH_serve.json for serving throughput,
+#                                 and tam_pack_bench --check BENCH_tam.json
+#                                 for the rectangle packer.
 #                                 Keep it off on noisy/shared machines; to
 #                                 re-baseline after an intentional perf
 #                                 change, rerun with --json BENCH_pr7.json
@@ -97,6 +99,22 @@ echo "== metrics determinism gate (counters identical at --jobs 1 vs --jobs 4)"
 diff <(grep -vE '"(sched|jobs)": |_ms":|"store_' "$workdir/m1.json") \
      <(grep -vE '"(sched|jobs)": |_ms":|"store_' "$workdir/m4.json") \
   || { echo "FAIL: metrics counters diverge between --jobs 1 and --jobs 4"; exit 1; }
+
+echo "== tam co-optimizer gate (smoke + --jobs determinism)"
+# The rectangle packer's contract: the full comparison table is a pure
+# function of (SOC, width, chains, ceiling) — byte-identical at any
+# --jobs value — and the power-constrained variant stays feasible on a
+# reconstructed ITC'02 SOC.
+./target/release/modsoc tam soc2 --width 16 > "$workdir/tam_soc2.txt"
+grep -q "soc2" "$workdir/tam_soc2.txt" \
+  || { echo "FAIL: tam soc2 produced no comparison row"; cat "$workdir/tam_soc2.txt"; exit 1; }
+./target/release/modsoc tam d695 --width 16 --power-ceiling 2000 > "$workdir/tam_d695.txt"
+grep -q "constrained" "$workdir/tam_d695.txt" \
+  || { echo "FAIL: tam d695 produced no constrained column"; cat "$workdir/tam_d695.txt"; exit 1; }
+./target/release/modsoc tam --width 16 --jobs 1 > "$workdir/tam_j1.txt"
+./target/release/modsoc tam --width 16 --jobs 4 > "$workdir/tam_j4.txt"
+diff "$workdir/tam_j1.txt" "$workdir/tam_j4.txt" \
+  || { echo "FAIL: tam table diverges between --jobs 1 and --jobs 4"; exit 1; }
 
 echo "== store cache determinism gate (cold vs warm, --jobs 1 and 4)"
 # The result store's contract: a warm run is byte-identical to the cold
@@ -299,6 +317,14 @@ if [[ "${MODSOC_BENCH_GATE:-0}" == "1" ]]; then
   # jump, so the gate still catches what it is here for.
   cargo build -q --release -p modsoc-bench --bin atpg_phase_bench
   ./target/release/atpg_phase_bench --check BENCH_pr7.json --tolerance 0.5
+
+  echo "== tam packer regression gate (tam_pack_bench --check, +100% tolerance)"
+  # The deterministic fields (pack_time/best_time/constrained_time/
+  # backfills) are compared exactly regardless of tolerance, so heuristic
+  # drift always fails; the wide timing tolerance only covers pack_ms on
+  # noisy machines.
+  cargo build -q --release -p modsoc-bench --bin tam_pack_bench
+  ./target/release/tam_pack_bench --quick --check BENCH_tam.json --tolerance 1.0
 else
   echo "== perf regression gate skipped (set MODSOC_BENCH_GATE=1 to enable)"
 fi

@@ -98,11 +98,15 @@ pub enum Counter {
     StoreClaimsAcquired,
     StoreClaimsHeld,
     StoreClaimsExpired,
+    TamPackCores,
+    TamPackCandidates,
+    TamPackBackfills,
+    TamPackPowerRejects,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 46] = [
+    pub const ALL: [Counter; 50] = [
         Counter::FaultsUniverse,
         Counter::FaultsCollapsed,
         Counter::RandomPatternsKept,
@@ -149,6 +153,10 @@ impl Counter {
         Counter::StoreClaimsAcquired,
         Counter::StoreClaimsHeld,
         Counter::StoreClaimsExpired,
+        Counter::TamPackCores,
+        Counter::TamPackCandidates,
+        Counter::TamPackBackfills,
+        Counter::TamPackPowerRejects,
     ];
 
     /// Position in [`Counter::ALL`] (the sink's array index).
@@ -227,6 +235,16 @@ impl Counter {
             Counter::StoreClaimsAcquired => "store_claims_acquired",
             Counter::StoreClaimsHeld => "store_claims_held",
             Counter::StoreClaimsExpired => "store_claims_expired",
+            // Rectangle bin-packing co-optimizer (`modsoc tam`): cores
+            // packed, Pareto wrapper candidates enumerated, placements
+            // that backfilled idle TAM windows, and placements bounced
+            // off the power ceiling. All four are pure functions of the
+            // input SOC and flags, so they sit under the full
+            // determinism contract (no exemptions).
+            Counter::TamPackCores => "tam_pack_cores",
+            Counter::TamPackCandidates => "tam_pack_candidates",
+            Counter::TamPackBackfills => "tam_pack_backfills",
+            Counter::TamPackPowerRejects => "tam_pack_power_rejects",
         }
     }
 }
@@ -257,11 +275,12 @@ pub enum Phase {
     ServeRequest,
     ServeWaitLight,
     ServeWaitHeavy,
+    TamPack,
 }
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 19] = [
+    pub const ALL: [Phase; 20] = [
         Phase::IndexBuild,
         Phase::FaultEnumerate,
         Phase::FaultCollapse,
@@ -281,6 +300,7 @@ impl Phase {
         Phase::ServeRequest,
         Phase::ServeWaitLight,
         Phase::ServeWaitHeavy,
+        Phase::TamPack,
     ];
 
     /// Position in [`Phase::ALL`] (the sink's array index).
@@ -319,6 +339,7 @@ impl Phase {
             // move in CLI runs.
             Phase::ServeWaitLight => "serve_wait_light",
             Phase::ServeWaitHeavy => "serve_wait_heavy",
+            Phase::TamPack => "tam_pack",
         }
     }
 }

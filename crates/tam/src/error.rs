@@ -27,6 +27,16 @@ pub enum TamError {
         /// The budget it exceeds.
         budget: u64,
     },
+    /// The rectangle packer exhausted a core's wrapper configurations:
+    /// none fits the TAM width budget under the power ceiling.
+    Infeasible {
+        /// The core that could not be placed.
+        core: String,
+        /// The total TAM width budget in effect.
+        width: usize,
+        /// The power ceiling in effect (`u64::MAX` = unconstrained).
+        ceiling: u64,
+    },
 }
 
 impl fmt::Display for TamError {
@@ -46,6 +56,20 @@ impl fmt::Display for TamError {
                 f,
                 "core `{core}` draws {power} alone, over the budget {budget}"
             ),
+            TamError::Infeasible {
+                core,
+                width,
+                ceiling,
+            } => {
+                write!(
+                    f,
+                    "no wrapper configuration of core `{core}` fits tam width {width}"
+                )?;
+                if *ceiling != u64::MAX {
+                    write!(f, " under power ceiling {ceiling}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -62,5 +86,28 @@ mod tests {
         assert!(TamError::NoCores.to_string().contains("core"));
         let e = TamError::WidthBelowCoreCount { width: 2, cores: 5 };
         assert!(e.to_string().contains("2 < 5"));
+    }
+
+    #[test]
+    fn infeasible_names_core_width_and_ceiling() {
+        let e = TamError::Infeasible {
+            core: "c7".into(),
+            width: 12,
+            ceiling: 90,
+        };
+        let text = e.to_string();
+        assert!(text.contains("c7"), "{text}");
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("90"), "{text}");
+    }
+
+    #[test]
+    fn infeasible_unconstrained_omits_ceiling() {
+        let e = TamError::Infeasible {
+            core: "c".into(),
+            width: 4,
+            ceiling: u64::MAX,
+        };
+        assert!(!e.to_string().contains("ceiling"));
     }
 }

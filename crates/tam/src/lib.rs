@@ -16,7 +16,12 @@
 //!   Daisychain, Distribution) with SOC test time computation;
 //! * [`schedule`] — explicit test schedules with start/end times and the
 //!   idle-bit accounting that quantifies exactly what the paper's
-//!   "useful bits only" analysis leaves out.
+//!   "useful bits only" analysis leaves out;
+//! * [`binpack`] / [`constraints`] — rectangle bin-packing wrapper/TAM
+//!   co-optimization (the Islam/Karim diagonal-length heuristic, arXiv
+//!   1008.3320 / 1008.4446): Pareto wrapper configurations as
+//!   rectangles, strip packing under a total width budget with
+//!   idle-time backfill, and the power-ceiling-constrained variant.
 //!
 //! # Example
 //!
@@ -34,6 +39,8 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod binpack;
+pub mod constraints;
 pub mod error;
 pub mod optimize;
 pub mod power;
@@ -41,5 +48,7 @@ pub mod schedule;
 pub mod wrapper;
 
 pub use arch::{soc_test_time, TamArchitecture};
+pub use binpack::{pack, PackedSchedule};
+pub use constraints::pack_constrained;
 pub use error::TamError;
 pub use wrapper::{design_wrapper, WrapperCore, WrapperDesign};

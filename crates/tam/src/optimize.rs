@@ -35,17 +35,24 @@ pub struct WidthSweep {
 impl WidthSweep {
     /// The width where the curve stops improving by at least
     /// `threshold` (relative): the knee a test planner would pick.
+    ///
+    /// The comparison is anchored at the current knee, not the previous
+    /// point, so non-monotone curves behave: a later point *worse* than
+    /// the knee never becomes the new anchor (it is simply skipped), and
+    /// a dip below the threshold does not end the scan if a later width
+    /// still improves on the knee by at least `threshold`.
     #[must_use]
     pub fn knee(&self, threshold: f64) -> Option<&SweepPoint> {
         let mut knee = self.points.first()?;
-        for pair in self.points.windows(2) {
-            let improvement = (pair[0].time as f64 - pair[1].time as f64) / pair[0].time as f64;
-            if improvement < threshold {
-                return Some(knee);
+        for p in &self.points[1..] {
+            if p.time < knee.time {
+                let improvement = (knee.time - p.time) as f64 / knee.time as f64;
+                if improvement >= threshold {
+                    knee = p;
+                }
             }
-            knee = &pair[1];
         }
-        self.points.last()
+        Some(knee)
     }
 }
 
@@ -205,6 +212,49 @@ mod tests {
         assert_eq!(sweep.knee(0.05).map(|p| p.width), Some(2));
         // Threshold 0: any improvement keeps going.
         assert_eq!(sweep.knee(0.0).map(|p| p.width), Some(4));
+    }
+
+    fn sweep_of(times: &[u64]) -> WidthSweep {
+        WidthSweep {
+            architecture: None,
+            points: times
+                .iter()
+                .enumerate()
+                .map(|(i, &time)| SweepPoint { width: i + 1, time })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn knee_of_empty_sweep_is_none() {
+        assert!(sweep_of(&[]).knee(0.05).is_none());
+    }
+
+    #[test]
+    fn knee_of_single_point_is_that_point() {
+        assert_eq!(sweep_of(&[777]).knee(0.05).map(|p| p.width), Some(1));
+        assert_eq!(sweep_of(&[777]).knee(0.0).map(|p| p.width), Some(1));
+    }
+
+    #[test]
+    fn knee_of_flat_sweep_is_the_first_point() {
+        // No point ever improves, so even threshold 0 stays at width 1
+        // (the old pairwise scan drifted to the last point here).
+        let flat = sweep_of(&[500, 500, 500, 500]);
+        assert_eq!(flat.knee(0.0).map(|p| p.width), Some(1));
+        assert_eq!(flat.knee(0.05).map(|p| p.width), Some(1));
+    }
+
+    #[test]
+    fn knee_ignores_worse_points_on_non_monotone_sweeps() {
+        // Width 3 regresses; it must neither become the knee nor end the
+        // scan — width 4's big improvement over the width-2 knee counts.
+        let bumpy = sweep_of(&[1_000, 600, 650, 200]);
+        assert_eq!(bumpy.knee(0.05).map(|p| p.width), Some(4));
+        // With everything after the bump weak, the knee stays at the
+        // pre-bump point instead of resetting to the worse one.
+        let weak_tail = sweep_of(&[1_000, 600, 650, 595]);
+        assert_eq!(weak_tail.knee(0.05).map(|p| p.width), Some(2));
     }
 
     #[test]

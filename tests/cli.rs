@@ -44,6 +44,44 @@ fn demo_table4_prints_all_socs() {
 }
 
 #[test]
+fn tam_packs_soc2_with_ceiling_and_json() {
+    let dir = std::env::temp_dir().join(format!("modsoc_tam_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json = dir.join("tam.json");
+    let out = modsoc(&[
+        "tam",
+        "soc2",
+        "--width",
+        "16",
+        "--power-ceiling",
+        "4000",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("soc2"), "{text}");
+    assert!(text.contains("constrained"), "{text}");
+    let doc = std::fs::read_to_string(&json).expect("json written");
+    assert!(doc.contains("\"pack_time\""), "{doc}");
+    assert!(doc.contains("\"constrained_time\""), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tam_rejects_unknown_soc_and_zero_width() {
+    let out = modsoc(&["tam", "nosuchsoc"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown soc"));
+    let out = modsoc(&["tam", "soc1", "--width", "0"]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn generate_atpg_analyze_pipeline() {
     let dir = std::env::temp_dir().join(format!("modsoc_cli_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
